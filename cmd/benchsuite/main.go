@@ -1,0 +1,79 @@
+// Command benchsuite regenerates the paper's evaluation tables and
+// figures on the synthetic suite. Each experiment prints the same rows
+// or series the paper reports; execution times are the simulated
+// runtime's virtual clocks (see internal/mpi).
+//
+//	benchsuite                          # everything, default scale
+//	benchsuite -experiment fig3         # one experiment
+//	benchsuite -scale 0.25 -ps 1,16,256 # quicker sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|all")
+		scale      = flag.Float64("scale", 1.0, "suite size scale (1 = default bench sizes)")
+		psFlag     = flag.String("ps", "", "comma-separated processor sweep (default 1,2,...,1024)")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+	ps := bench.DefaultPs()
+	if *psFlag != "" {
+		ps = ps[:0]
+		for _, tok := range strings.Split(*psFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "benchsuite: bad -ps entry %q\n", tok)
+				os.Exit(1)
+			}
+			ps = append(ps, v)
+		}
+	}
+	h := bench.New(*scale, ps)
+	if !*quiet {
+		h.Out = os.Stderr
+	}
+	experiments := []struct {
+		name string
+		run  func() string
+	}{
+		{"table1", h.Table1},
+		{"table2", h.Table2},
+		{"table3", h.Table3},
+		{"fig2", h.Fig2},
+		{"fig3", h.Fig3},
+		{"fig4", h.Fig4},
+		{"fig5", h.Fig5},
+		{"fig6", h.Fig6},
+		{"fig7", h.Fig7},
+		{"fig8", h.Fig8},
+		{"fig9", h.Fig9},
+		{"table4", h.Table4},
+		{"ablations", func() string {
+			return h.AblationLatticeVsExact() + "\n" + h.AblationBlockSize() + "\n" +
+				h.AblationStripFM() + "\n" + h.AblationTries() + "\n" +
+				h.AblationLevelRetention() + "\n" + h.AblationSSDE()
+		}},
+	}
+	ran := false
+	for _, e := range experiments {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
+		ran = true
+		fmt.Println(e.run())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment %q\n", *experiment)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+// Command scalapart partitions a graph into two parts with any of the
+// partitioners in this repository and reports cut size, balance, and
+// modeled parallel execution time.
+//
+// The graph comes either from a METIS file (-file) or from the built-in
+// synthetic suite (-graph, -scale). Methods needing coordinates (RCB,
+// G30/G7/G7-NL, SP-PG7-NL) use the graph's natural coordinates when
+// available, otherwise a sequential force-directed embedding.
+//
+// Examples:
+//
+//	scalapart -graph delaunay_n20 -p 64
+//	scalapart -graph hugetrace-00000 -method Pt-Scotch -p 256
+//	scalapart -file mesh.graph -method RCB -p 16 -out parts.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/gen"
+	"repro/internal/geometry"
+	"repro/internal/geopart"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+func main() {
+	var (
+		file   = flag.String("file", "", "METIS graph file to partition")
+		name   = flag.String("graph", "", "built-in suite graph name (see -list)")
+		scale  = flag.Float64("scale", 0.25, "size scale for built-in graphs")
+		method = flag.String("method", "ScalaPart", "ScalaPart | ParMetis | Pt-Scotch | RCB | SP-PG7-NL | G30 | G7 | G7-NL")
+		p      = flag.Int("p", 16, "simulated processor count")
+		seed   = flag.Int64("seed", 42, "random seed")
+		out    = flag.String("out", "", "write per-vertex part ids to this file")
+		list   = flag.Bool("list", false, "list built-in graphs and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range gen.SuiteEntries() {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+	g, coords, err := loadGraph(*file, *name, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalapart:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+
+	needCoords := map[string]bool{"RCB": true, "SP-PG7-NL": true, "G30": true, "G7": true, "G7-NL": true}
+	if needCoords[*method] && coords == nil {
+		fmt.Println("computing sequential force-directed embedding (graph has no coordinates)...")
+		coords = embed.SequentialLayout(g, embed.SeqOptions{Seed: *seed})
+	}
+
+	var part []int32
+	var cut int64
+	var timeS, imb float64
+	switch *method {
+	case "ScalaPart":
+		res := core.Partition(g, *p, core.DefaultOptions(*seed))
+		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Times.Total
+		fmt.Printf("phases: coarsen %.4fs  embed %.4fs  partition %.4fs (strip %d vertices)\n",
+			res.Times.Coarsen, res.Times.Embed, res.Times.Partition, res.StripSize)
+	case "SP-PG7-NL":
+		res := core.PartitionGeometric(g, coords, *p, geopart.DefaultParallelConfig(), mpi.DefaultModel())
+		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Times.Total
+	case "RCB":
+		res := core.RCBParallel(g, coords, *p, mpi.DefaultModel())
+		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Times.Total
+	case "ParMetis":
+		res := baseline.Partition(g, *p, baseline.ParMetisLike(*seed))
+		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Total
+	case "Pt-Scotch":
+		res := baseline.Partition(g, *p, baseline.PtScotchLike(*seed))
+		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Total
+	case "G30", "G7", "G7-NL":
+		cfg := geopart.G30()
+		if *method == "G7" {
+			cfg = geopart.G7()
+		}
+		if *method == "G7-NL" {
+			cfg = geopart.G7NL()
+		}
+		cfg.Seed = *seed
+		var st geopart.Stats
+		part, st = geopart.Partition(g, coords, cfg)
+		cut, imb = st.Cut, st.Imbalance
+	default:
+		fmt.Fprintf(os.Stderr, "scalapart: unknown method %q\n", *method)
+		os.Exit(1)
+	}
+	fmt.Printf("method=%s P=%d  cut=%d  imbalance=%.3f", *method, *p, cut, imb)
+	if timeS > 0 {
+		fmt.Printf("  modeled-time=%.4fs", timeS)
+	}
+	fmt.Println()
+	if *out != "" {
+		if err := writeParts(*out, part); err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("partition written to %s\n", *out)
+	}
+}
+
+func loadGraph(file, name string, scale float64) (*graph.Graph, []geometry.Vec2, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		var g *graph.Graph
+		if strings.HasSuffix(file, ".mtx") {
+			g, err = graph.ReadMatrixMarket(f)
+		} else {
+			g, err = graph.ReadMETIS(f)
+		}
+		return g, nil, err
+	}
+	if name == "" {
+		name = "delaunay_n20"
+	}
+	for _, e := range gen.SuiteEntries() {
+		if e.Name == name {
+			gg := e.Build(scale)
+			return gg.G, gg.Coords, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("unknown graph %q (try -list)", name)
+}
+
+func writeParts(path string, part []int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, p := range part {
+		fmt.Fprintln(w, p)
+	}
+	return w.Flush()
+}

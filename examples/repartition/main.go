@@ -1,0 +1,51 @@
+// Repartition: the dynamic re-partitioning use case of the paper's
+// Section 5 — a simulation whose mesh deforms over time must
+// periodically re-balance. When coordinates are already known, the
+// partition-only ScalaPart (SP-PG7-NL) can replace RCB: similar
+// scalability, significantly better cuts.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geometry"
+	"repro/internal/geopart"
+	"repro/internal/mpi"
+)
+
+func main() {
+	const p = 128
+	mesh := gen.DelaunayRandom(40000, 11)
+	g := mesh.G
+	coords := append([]geometry.Vec2(nil), mesh.Coords...)
+	fmt.Printf("mesh: %d vertices, %d edges; re-partitioning on P=%d as the domain deforms\n\n",
+		g.NumVertices(), g.NumEdges(), p)
+	fmt.Printf("%5s %22s %22s\n", "step", "RCB (cut / time)", "SP-PG7-NL (cut / time)")
+
+	var rcbTotal, spTotal float64
+	for step := 0; step < 5; step++ {
+		// Deform: a time-dependent shear plus a radial swirl, the kind
+		// of advection a Lagrangian simulation produces.
+		t := float64(step) * 0.3
+		for i, q := range coords {
+			dx := 0.35 * t * math.Sin(2*math.Pi*q.Y)
+			r := q.Sub(geometry.Vec2{X: 0.5, Y: 0.5})
+			swirl := 0.4 * t * math.Exp(-4*r.Dot(r))
+			cos, sin := math.Cos(swirl), math.Sin(swirl)
+			rot := geometry.Vec2{X: r.X*cos - r.Y*sin, Y: r.X*sin + r.Y*cos}
+			coords[i] = geometry.Vec2{X: 0.5 + rot.X + dx, Y: 0.5 + rot.Y}
+		}
+		rcb := core.RCBParallel(g, coords, p, mpi.DefaultModel())
+		sp := core.PartitionGeometric(g, coords, p, geopart.DefaultParallelConfig(), mpi.DefaultModel())
+		rcbTotal += rcb.Times.Total
+		spTotal += sp.Times.Total
+		fmt.Printf("%5d %10d / %8.5fs %10d / %8.5fs\n",
+			step, rcb.Cut, rcb.Times.Total, sp.Cut, sp.Times.Total)
+	}
+	fmt.Printf("\ncumulative partitioning time: RCB %.5fs, SP-PG7-NL %.5fs\n", rcbTotal, spTotal)
+	fmt.Println("SP-PG7-NL's incremental cost stays within a small factor of RCB's")
+	fmt.Println("while its refined sphere separators track the deforming geometry.")
+}

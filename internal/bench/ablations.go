@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/geopart"
+	"repro/internal/mpi"
+)
+
+// ablationGraph is the workload used by the design-choice ablations: a
+// mid-sized Delaunay mesh at the harness scale.
+const ablationGraph = "delaunay_n20"
+const ablationP = 64
+
+// AblationBlockSize varies the staleness block (iterations between
+// global refreshes): the paper reports no observable quality change for
+// blocks of 2–8 while global communication drops accordingly.
+func (h *Harness) AblationBlockSize() string {
+	g := h.Graph(ablationGraph)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: staleness block size (graph %s, P=%d).\n", ablationGraph, ablationP)
+	fmt.Fprintf(&b, "%6s %8s %12s %12s\n", "block", "cut", "embed(s)", "embed-comm")
+	for _, bs := range []int{1, 2, 4, 8} {
+		opt := core.DefaultOptions(seedOf(ablationGraph))
+		opt.Embed.BlockSize = bs
+		res := core.Partition(g.G, ablationP, opt)
+		fmt.Fprintf(&b, "%6d %8d %12.4f %12.4f\n", bs, res.Cut, res.Times.Embed, res.Times.EmbedComm)
+	}
+	return b.String()
+}
+
+// AblationStripFM quantifies the strip refinement's contribution, the
+// mechanism behind Table 2's "Best SP" improvement over G30.
+func (h *Harness) AblationStripFM() string {
+	g := h.Graph(ablationGraph)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: strip Fiduccia–Mattheyses refinement (graph %s, P=%d).\n", ablationGraph, ablationP)
+	fmt.Fprintf(&b, "%8s %8s %10s %12s\n", "refine", "cut", "strip", "partit.(s)")
+	for _, refine := range []bool{false, true} {
+		opt := core.DefaultOptions(seedOf(ablationGraph))
+		opt.Partition.Refine = refine
+		res := core.Partition(g.G, ablationP, opt)
+		fmt.Fprintf(&b, "%8v %8d %10d %12.5f\n", refine, res.Cut, res.StripSize, res.Times.Partition)
+	}
+	return b.String()
+}
+
+// AblationTries varies the number of great-circle candidates (the G7
+// vs G30 trade-off inside the parallel partitioner).
+func (h *Harness) AblationTries() string {
+	g := h.Graph(ablationGraph)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: great-circle tries (graph %s, P=%d).\n", ablationGraph, ablationP)
+	fmt.Fprintf(&b, "%6s %8s %12s\n", "tries", "cut", "partit.(s)")
+	for _, tries := range []int{3, 7, 15, 30} {
+		opt := core.DefaultOptions(seedOf(ablationGraph))
+		opt.Partition.GreatCircles = tries
+		res := core.Partition(g.G, ablationP, opt)
+		fmt.Fprintf(&b, "%6d %8d %12.5f\n", tries, res.Cut, res.Times.Partition)
+	}
+	return b.String()
+}
+
+// AblationLevelRetention compares the paper's retain-every-other-level
+// quartering hierarchy against retaining every halving step.
+func (h *Harness) AblationLevelRetention() string {
+	g := h.Graph(ablationGraph)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: hierarchy level retention (graph %s, P=%d).\n", ablationGraph, ablationP)
+	fmt.Fprintf(&b, "%22s %8s %12s\n", "levels", "cut", "total(s)")
+	for _, steps := range []int{1, 2} {
+		opt := core.DefaultOptions(seedOf(ablationGraph))
+		opt.Coarsen.StepsPerLevel = steps
+		opt.Coarsen.RankDecay = 1 << steps
+		res := core.Partition(g.G, ablationP, opt)
+		label := "every level (halve)"
+		if steps == 2 {
+			label = "every other (quarter)"
+		}
+		fmt.Fprintf(&b, "%22s %8d %12.4f\n", label, res.Cut, res.Times.Total)
+	}
+	return b.String()
+}
+
+// AblationLatticeVsExact compares the fixed-lattice parallel embedding
+// against an exact sequential Barnes–Hut embedding feeding the same
+// parallel geometric partitioner: the quality cost of the lattice
+// approximation.
+func (h *Harness) AblationLatticeVsExact() string {
+	g := h.Graph(ablationGraph)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: lattice embedding vs exact sequential embedding (graph %s, P=%d).\n", ablationGraph, ablationP)
+	opt := core.DefaultOptions(seedOf(ablationGraph))
+	lat := core.Partition(g.G, ablationP, opt)
+	coords := embed.SequentialLayout(g.G, embed.SeqOptions{Seed: seedOf(ablationGraph)})
+	exact := core.PartitionGeometric(g.G, coords, ablationP, geopart.DefaultParallelConfig(), mpi.DefaultModel())
+	fmt.Fprintf(&b, "  lattice embedding + SP-PG7-NL: cut %d\n", lat.Cut)
+	fmt.Fprintf(&b, "  exact BH embedding + SP-PG7-NL: cut %d\n", exact.Cut)
+	natural := "n/a"
+	if g.Coords != nil {
+		nat := core.PartitionGeometric(g.G, g.Coords, ablationP, geopart.DefaultParallelConfig(), mpi.DefaultModel())
+		natural = fmt.Sprintf("%d", nat.Cut)
+	}
+	fmt.Fprintf(&b, "  natural coordinates + SP-PG7-NL: cut %s\n", natural)
+	return b.String()
+}
+
+// AblationSSDE compares the paper's Section 5 proposal — sampled
+// spectral distance embedding — against the force-directed lattice
+// embedding as the coordinate source for the parallel geometric
+// partitioner.
+func (h *Harness) AblationSSDE() string {
+	g := h.Graph(ablationGraph)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: SSDE vs force-directed embedding (graph %s, P=%d).\n", ablationGraph, ablationP)
+	lat := core.Partition(g.G, ablationP, core.DefaultOptions(seedOf(ablationGraph)))
+	ssde := embed.SSDELayout(g.G, embed.SSDEOptions{Seed: seedOf(ablationGraph)})
+	sp := core.PartitionGeometric(g.G, ssde, ablationP, geopart.DefaultParallelConfig(), mpi.DefaultModel())
+	fmt.Fprintf(&b, "  lattice force embedding: cut %d (embed %.4fs modeled)\n", lat.Cut, lat.Times.Embed)
+	fmt.Fprintf(&b, "  SSDE embedding:          cut %d (embedding cost ~%d BFS sweeps + power iteration)\n", sp.Cut, 30)
+	return b.String()
+}

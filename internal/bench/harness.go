@@ -1,0 +1,255 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation section on the synthetic suite,
+// using the simulated runtime's virtual clocks as execution time. Runs
+// are cached per (graph, method, rank count), so the whole suite sweep
+// is computed once and shared by all tables and figures.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/gen"
+	"repro/internal/geometry"
+	"repro/internal/geopart"
+	"repro/internal/mpi"
+)
+
+// Method names, as used throughout tables and figures.
+const (
+	MethodSP     = "ScalaPart"
+	MethodSPPG   = "SP-PG7-NL"
+	MethodPM     = "ParMetis"
+	MethodPTS    = "Pt-Scotch"
+	MethodRCB    = "RCB"
+	MethodG30    = "G30"
+	MethodG7     = "G7"
+	MethodG7NL   = "G7-NL"
+	MethodRCBSeq = "RCB-seq"
+)
+
+// Run is one cached (graph, method, P) outcome.
+type Run struct {
+	Graph     string
+	Method    string
+	P         int
+	Cut       int64
+	Imbalance float64
+	Time      float64 // modeled seconds (max over ranks); 0 for sequential baselines
+	CommTime  float64
+	Times     core.PhaseTimes // phase breakdown (ScalaPart runs)
+	StripSize int
+}
+
+type runKey struct {
+	graph, method string
+	p             int
+}
+
+// Harness caches graphs, force-directed layouts, and runs.
+type Harness struct {
+	Scale float64 // suite scale; 1 = default bench sizes
+	Ps    []int   // processor sweep
+	Model mpi.Model
+	Out   io.Writer // progress log; nil silences
+
+	mu      sync.Mutex
+	graphs  map[string]*gen.Generated
+	layouts map[string][]geometry.Vec2
+	runs    map[runKey]*Run
+}
+
+// New returns a harness at the given scale with the given P sweep.
+func New(scale float64, ps []int) *Harness {
+	return &Harness{
+		Scale:   scale,
+		Ps:      ps,
+		Model:   mpi.DefaultModel(),
+		graphs:  make(map[string]*gen.Generated),
+		layouts: make(map[string][]geometry.Vec2),
+		runs:    make(map[runKey]*Run),
+	}
+}
+
+// DefaultPs is the paper's processor sweep, 1..1024 in powers of two.
+func DefaultPs() []int {
+	ps := make([]int, 0, 11)
+	for p := 1; p <= 1024; p *= 2 {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.Out != nil {
+		fmt.Fprintf(h.Out, format+"\n", args...)
+	}
+}
+
+// Graph returns (building and caching) a suite graph by name.
+func (h *Harness) Graph(name string) *gen.Generated {
+	h.mu.Lock()
+	g, ok := h.graphs[name]
+	h.mu.Unlock()
+	if ok {
+		return g
+	}
+	for _, e := range gen.SuiteEntries() {
+		if e.Name == name {
+			h.logf("generating %s (scale %g)...", name, h.Scale)
+			g = e.Build(h.Scale)
+			h.mu.Lock()
+			h.graphs[name] = g
+			h.mu.Unlock()
+			return g
+		}
+	}
+	panic("bench: unknown suite graph " + name)
+}
+
+// SuiteNames returns the nine suite graph names in paper order.
+func SuiteNames() []string {
+	entries := gen.SuiteEntries()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// HuCoords returns (computing and caching) the sequential
+// force-directed layout of a suite graph — the stand-in for the
+// Mathematica embedding the paper gives to RCB and G30/G7.
+func (h *Harness) HuCoords(name string) []geometry.Vec2 {
+	h.mu.Lock()
+	c, ok := h.layouts[name]
+	h.mu.Unlock()
+	if ok {
+		return c
+	}
+	g := h.Graph(name)
+	h.logf("sequential layout of %s (n=%d)...", name, g.G.NumVertices())
+	c = embed.SequentialLayout(g.G, embed.SeqOptions{Seed: seedOf(name), IterSmooth: 30})
+	h.mu.Lock()
+	h.layouts[name] = c
+	h.mu.Unlock()
+	return c
+}
+
+// seedOf derives a stable per-graph seed.
+func seedOf(name string) int64 {
+	var s int64 = 1469598103
+	for _, b := range []byte(name) {
+		s = s*1099511628211 + int64(b)
+	}
+	if s < 0 {
+		s = -s
+	}
+	return s%100000 + 1
+}
+
+// Get computes (or retrieves) one run.
+func (h *Harness) Get(graphName, method string, p int) *Run {
+	key := runKey{graphName, method, p}
+	h.mu.Lock()
+	if r, ok := h.runs[key]; ok {
+		h.mu.Unlock()
+		return r
+	}
+	h.mu.Unlock()
+	r := h.compute(graphName, method, p)
+	h.mu.Lock()
+	h.runs[key] = r
+	h.mu.Unlock()
+	return r
+}
+
+func (h *Harness) compute(graphName, method string, p int) *Run {
+	g := h.Graph(graphName)
+	seed := seedOf(graphName)
+	run := &Run{Graph: graphName, Method: method, P: p}
+	h.logf("run %-10s %-18s P=%-5d", method, graphName, p)
+	switch method {
+	case MethodSP:
+		res := core.Partition(g.G, p, core.DefaultOptions(seed))
+		run.Cut, run.Imbalance = res.Cut, res.Imbalance
+		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
+		run.Times = res.Times
+		run.StripSize = res.StripSize
+	case MethodSPPG:
+		res := core.PartitionGeometric(g.G, h.HuCoords(graphName), p, geopart.DefaultParallelConfig(), h.Model)
+		run.Cut, run.Imbalance = res.Cut, res.Imbalance
+		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
+		run.StripSize = res.StripSize
+	case MethodRCB:
+		res := core.RCBParallel(g.G, h.HuCoords(graphName), p, h.Model)
+		run.Cut, run.Imbalance = res.Cut, res.Imbalance
+		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
+	case MethodPM:
+		res := baseline.Partition(g.G, p, baseline.ParMetisLike(seed))
+		run.Cut, run.Imbalance = res.Cut, res.Imbalance
+		run.Time, run.CommTime = res.Total, res.Comm
+	case MethodPTS:
+		res := baseline.Partition(g.G, p, baseline.PtScotchLike(seed))
+		run.Cut, run.Imbalance = res.Cut, res.Imbalance
+		run.Time, run.CommTime = res.Total, res.Comm
+	case MethodG30, MethodG7, MethodG7NL:
+		var cfg geopart.Config
+		switch method {
+		case MethodG30:
+			cfg = geopart.G30()
+		case MethodG7:
+			cfg = geopart.G7()
+		default:
+			cfg = geopart.G7NL()
+		}
+		cfg.Seed = seed
+		_, st := geopart.Partition(g.G, h.HuCoords(graphName), cfg)
+		run.Cut, run.Imbalance = st.Cut, st.Imbalance
+	case MethodRCBSeq:
+		_, st := geopart.RCBBisect(g.G, h.HuCoords(graphName))
+		run.Cut, run.Imbalance = st.Cut, st.Imbalance
+	default:
+		panic("bench: unknown method " + method)
+	}
+	return run
+}
+
+// SPCuts returns ScalaPart's cut-sizes across the P sweep for a graph.
+func (h *Harness) SPCuts(graphName string) []int64 {
+	cuts := make([]int64, 0, len(h.Ps))
+	for _, p := range h.Ps {
+		cuts = append(cuts, h.Get(graphName, MethodSP, p).Cut)
+	}
+	return cuts
+}
+
+// CutRange returns the min and max cut of a parallel method across the
+// P sweep.
+func (h *Harness) CutRange(graphName, method string) (min, max int64) {
+	min, max = -1, -1
+	for _, p := range h.Ps {
+		c := h.Get(graphName, method, p).Cut
+		if min < 0 || c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return min, max
+}
+
+// TotalTime sums a method's modeled time over all suite graphs at one
+// P.
+func (h *Harness) TotalTime(method string, p int) float64 {
+	t := 0.0
+	for _, name := range SuiteNames() {
+		t += h.Get(name, method, p).Time
+	}
+	return t
+}

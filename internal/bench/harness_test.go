@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	miniOnce sync.Once
+	mini     *Harness
+)
+
+// miniHarness keeps tests quick: tiny graphs, three rank counts, one
+// shared cache across all tests of this package.
+func miniHarness() *Harness {
+	miniOnce.Do(func() {
+		mini = New(0.03, []int{1, 8, 64})
+	})
+	return mini
+}
+
+func TestTablesRenderAllGraphs(t *testing.T) {
+	h := miniHarness()
+	for name, out := range map[string]string{
+		"table1": h.Table1(),
+		"table2": h.Table2(),
+		"table3": h.Table3(),
+	} {
+		for _, g := range SuiteNames() {
+			if !strings.Contains(out, g) {
+				t.Fatalf("%s missing row for %s:\n%s", name, g, out)
+			}
+		}
+	}
+}
+
+func TestFiguresRenderAllPs(t *testing.T) {
+	h := miniHarness()
+	for name, out := range map[string]string{
+		"fig3": h.Fig3(),
+		"fig4": h.Fig4(),
+		"fig7": h.Fig7(),
+		"fig8": h.Fig8(),
+	} {
+		for _, p := range []string{"     1 ", "     8 ", "    64 "} {
+			if !strings.Contains(out, p) {
+				t.Fatalf("%s missing P row %q:\n%s", name, p, out)
+			}
+		}
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	h := miniHarness()
+	a := h.Get("ecology1", MethodSP, 8)
+	b := h.Get("ecology1", MethodSP, 8)
+	if a != b {
+		t.Fatal("repeat Get did not hit the cache")
+	}
+}
+
+func TestCutRangeOrdering(t *testing.T) {
+	h := miniHarness()
+	lo, hi := h.CutRange("ecology1", MethodPM)
+	if lo <= 0 || hi < lo {
+		t.Fatalf("range %d..%d", lo, hi)
+	}
+}
+
+func TestSeedOfStable(t *testing.T) {
+	if seedOf("ecology1") != seedOf("ecology1") {
+		t.Fatal("seedOf not stable")
+	}
+	if seedOf("ecology1") == seedOf("ecology2") {
+		t.Fatal("seedOf collides for suite names")
+	}
+}
+
+func TestRemainingExperimentsRender(t *testing.T) {
+	h := miniHarness()
+	for name, out := range map[string]string{
+		"fig5":   h.Fig5(),
+		"fig6":   h.Fig6(),
+		"fig9":   h.Fig9(),
+		"table4": h.Table4(),
+		"fig2":   h.Fig2(),
+	} {
+		if len(out) < 40 {
+			t.Fatalf("%s suspiciously short:\n%s", name, out)
+		}
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	h := miniHarness()
+	for name, out := range map[string]string{
+		"block":   h.AblationBlockSize(),
+		"strip":   h.AblationStripFM(),
+		"tries":   h.AblationTries(),
+		"levels":  h.AblationLevelRetention(),
+		"lattice": h.AblationLatticeVsExact(),
+		"ssde":    h.AblationSSDE(),
+	} {
+		if !strings.Contains(out, "Ablation") {
+			t.Fatalf("%s: missing header:\n%s", name, out)
+		}
+		if !strings.Contains(out, "cut") {
+			t.Fatalf("%s: no cut column", name)
+		}
+	}
+}
+
+func TestSPCutsLength(t *testing.T) {
+	h := miniHarness()
+	cuts := h.SPCuts("ecology1")
+	if len(cuts) != len(h.Ps) {
+		t.Fatalf("%d cuts for %d Ps", len(cuts), len(h.Ps))
+	}
+	for _, c := range cuts {
+		if c <= 0 {
+			t.Fatalf("non-positive cut in %v", cuts)
+		}
+	}
+}

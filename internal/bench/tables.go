@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table1 reproduces Table 1: the test suite with vertex and edge
+// counts (in millions for the paper; we also print raw counts since the
+// synthetic analogues are ~100× smaller).
+func (h *Harness) Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Test suite of graphs.\n")
+	fmt.Fprintf(&b, "%-20s %12s %12s %10s %10s\n", "", "N", "M", "N(10^6)", "M(10^6)")
+	for _, name := range SuiteNames() {
+		g := h.Graph(name)
+		n, m := g.G.NumVertices(), g.G.NumEdges()
+		fmt.Fprintf(&b, "%-20s %12d %12d %10.3f %10.3f\n",
+			name, n, m, float64(n)/1e6, float64(m)/1e6)
+	}
+	return b.String()
+}
+
+// Table2 reproduces Table 2: cut-sizes of the geometric methods
+// relative to G30 = 1 — G7, G7-NL, RCB, and the average and best
+// ScalaPart cuts across the P sweep.
+func (h *Harness) Table2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Relative cut-sizes of geometric methods (G30 = 1).\n")
+	fmt.Fprintf(&b, "%-20s %8s %8s %8s %8s %8s\n", "", "G7", "G7-NL", "RCB", "Avg SP", "Best SP")
+	cols := make([][]float64, 5)
+	for _, name := range SuiteNames() {
+		g30 := float64(h.Get(name, MethodG30, 1).Cut)
+		g7 := float64(h.Get(name, MethodG7, 1).Cut) / g30
+		g7nl := float64(h.Get(name, MethodG7NL, 1).Cut) / g30
+		rcb := float64(h.Get(name, MethodRCBSeq, 1).Cut) / g30
+		cuts := h.SPCuts(name)
+		sum, best := 0.0, float64(cuts[0])
+		for _, c := range cuts {
+			sum += float64(c)
+			if float64(c) < best {
+				best = float64(c)
+			}
+		}
+		avg := sum / float64(len(cuts)) / g30
+		bst := best / g30
+		fmt.Fprintf(&b, "%-20s %8.2f %8.2f %8.2f %8.2f %8.2f\n", name, g7, g7nl, rcb, avg, bst)
+		for i, v := range []float64{g7, g7nl, rcb, avg, bst} {
+			cols[i] = append(cols[i], v)
+		}
+	}
+	fmt.Fprintf(&b, "%-20s %8.2f %8.2f %8.2f %8.2f %8.2f\n", "Geom. Mean",
+		stats.GeoMean(cols[0]), stats.GeoMean(cols[1]), stats.GeoMean(cols[2]),
+		stats.GeoMean(cols[3]), stats.GeoMean(cols[4]))
+	return b.String()
+}
+
+// Table3 reproduces Table 3: best–worst cut-size ranges for Pt-Scotch,
+// ParMetis, ScalaPart (across the P sweep), plus the single-run G30 and
+// RCB cuts, with a geometric-mean row relative to Pt-Scotch's best.
+func (h *Harness) Table3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Best and worst cut-sizes for all methods.\n")
+	fmt.Fprintf(&b, "%-20s %17s %17s %17s %9s %9s\n",
+		"", "Pt-Scotch", "ParMetis", "ScalaPart", "G30", "RCB")
+	gm := make([][]float64, 8) // ptsLo ptsHi pmLo pmHi spLo spHi g30 rcb
+	for _, name := range SuiteNames() {
+		ptsLo, ptsHi := h.CutRange(name, MethodPTS)
+		pmLo, pmHi := h.CutRange(name, MethodPM)
+		spLo, spHi := h.CutRange(name, MethodSP)
+		g30 := h.Get(name, MethodG30, 1).Cut
+		rcb := h.Get(name, MethodRCBSeq, 1).Cut
+		fmt.Fprintf(&b, "%-20s %7d - %7d %7d - %7d %7d - %7d %9d %9d\n",
+			name, ptsLo, ptsHi, pmLo, pmHi, spLo, spHi, g30, rcb)
+		base := float64(ptsLo)
+		for i, v := range []int64{ptsLo, ptsHi, pmLo, pmHi, spLo, spHi, g30, rcb} {
+			gm[i] = append(gm[i], float64(v)/base)
+		}
+	}
+	fmt.Fprintf(&b, "%-20s %7.2f - %7.2f %7.2f - %7.2f %7.2f - %7.2f %9.2f %9.2f\n",
+		"Geometric Mean",
+		stats.GeoMean(gm[0]), stats.GeoMean(gm[1]), stats.GeoMean(gm[2]),
+		stats.GeoMean(gm[3]), stats.GeoMean(gm[4]), stats.GeoMean(gm[5]),
+		stats.GeoMean(gm[6]), stats.GeoMean(gm[7]))
+	return b.String()
+}
+
+// Table4 reproduces Table 4: speed-ups at the largest P relative to
+// Pt-Scotch for ParMetis, RCB, ScalaPart, and SP-PG7-NL, over
+// G3_circuit, hugebubbles, all graphs, and the four largest graphs.
+func (h *Harness) Table4() string {
+	pMax := h.Ps[len(h.Ps)-1]
+	sum := func(names []string, method string) float64 {
+		t := 0.0
+		for _, n := range names {
+			t += h.Get(n, method, pMax).Time
+		}
+		return t
+	}
+	row := func(label string, names []string) string {
+		pts := sum(names, MethodPTS)
+		return fmt.Sprintf("%-16s %9.2f %9.2f %10.2f %10.2f\n", label,
+			pts/sum(names, MethodPM), pts/sum(names, MethodRCB),
+			pts/sum(names, MethodSP), pts/sum(names, MethodSPPG))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Speed-ups at %d processors relative to Pt-Scotch = 1.\n", pMax)
+	fmt.Fprintf(&b, "%-16s %9s %9s %10s %10s\n", "", "ParMetis", "RCB", "ScalaPart", "SP-PG7-NL")
+	b.WriteString(row("G3_circuit", []string{"G3_circuit"}))
+	b.WriteString(row("hugebubbles", []string{"hugebubbles-00020"}))
+	b.WriteString(row("All Graphs", SuiteNames()))
+	b.WriteString(row("Large 4 graphs", largeFour()))
+	return b.String()
+}
+
+func largeFour() []string {
+	return []string{"hugetrace-00000", "delaunay_n23", "delaunay_n24", "hugebubbles-00020"}
+}

@@ -1,0 +1,72 @@
+package coarsen
+
+import "repro/internal/mpi"
+
+// BoundaryEdges counts, for every hierarchy level and rank, the edges
+// crossing out of the rank's ownership block — the halo volume of
+// distributed matching. Precomputed once per hierarchy and shared by
+// every simulated rank.
+func BoundaryEdges(h *Hierarchy) [][]int64 {
+	out := make([][]int64, len(h.Levels))
+	for li, lev := range h.Levels {
+		counts := make([]int64, lev.Ranks)
+		for r := 0; r < lev.Ranks; r++ {
+			begin, end := lev.Offsets[r], lev.Offsets[r+1]
+			for v := begin; v < end; v++ {
+				for _, nb := range lev.G.Neighbors(v) {
+					if nb < begin || nb >= end {
+						counts[r]++
+					}
+				}
+			}
+		}
+		out[li] = counts
+	}
+	return out
+}
+
+// ChargeCosts replays the modeled cost of distributed heavy-edge-
+// matching coarsening on the calling rank: per retained level, the
+// local matching and contraction work, `rounds` match-negotiation
+// rounds (halo exchange plus a reduction each), and the all-gather that
+// assembles the coarse graph. The hierarchy itself was computed
+// up-front — blocked matching is deterministic per block, so the
+// precomputed result equals what the distributed run would produce —
+// and only the costs are replayed here.
+func ChargeCosts(c *mpi.Comm, h *Hierarchy, boundary [][]int64, rounds, stepsPerLevel int) {
+	m := c.Model()
+	for li := 0; li+1 < len(h.Levels); li++ {
+		lev := &h.Levels[li]
+		sub := c.SubComm(lev.Ranks)
+		if sub == nil {
+			continue
+		}
+		r := sub.Rank()
+		begin, end := lev.Offsets[r], lev.Offsets[r+1]
+		myVerts := float64(end - begin)
+		myEdges := float64(lev.G.XAdj[end] - lev.G.XAdj[begin])
+		sub.Charge(float64(stepsPerLevel) * (3*myEdges + 2*myVerts))
+		for round := 0; round < rounds*stepsPerLevel; round++ {
+			// One negotiation round: request + grant halo messages, an
+			// irregular counts exchange, and the convergence reduction.
+			sub.ChargeComm(8, int(boundary[li][r])*12)
+			sub.SyncCost(m.Latency*log2f(sub.Size()) + (m.PerByte*4+m.PerPeer)*float64(sub.Size()))
+			mpi.AllReduce(sub, int64(0), 8, mpi.SumInt64)
+		}
+		// Contraction exchange: each rank ships its share of matched
+		// coarse edges plus the boundary halo (the coarse graph stays
+		// distributed; only per-rank shares move).
+		next := &h.Levels[li+1]
+		perRank := 8 * len(next.G.Adjncy) / sub.Size()
+		sub.SyncCost(m.Latency*log2f(sub.Size()) + m.PerByte*float64(perRank+int(boundary[li][r])*8))
+	}
+}
+
+// log2f is ceil(log2 n) as a float, with log2f(1) = 0.
+func log2f(n int) float64 {
+	l := 0.0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}

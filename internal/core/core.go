@@ -1,0 +1,223 @@
+// Package core is ScalaPart: the paper's parallel multilevel embedded
+// graph partitioner. A run coarsens the graph ParMetis-style with the
+// active processor count quartering every retained level, embeds the
+// coarsest graph with the fixed-lattice force scheme, smooths the
+// embedding back up the hierarchy, bisects the embedded graph with the
+// parallel geometric mesh partitioner (SP-PG7-NL), and refines the cut
+// with Fiduccia–Mattheyses on a coordinate strip.
+//
+// Everything runs on the simulated message-passing runtime of
+// internal/mpi: results (cuts, partitions) come from the genuinely
+// parallel algorithm, execution times come from the runtime's virtual
+// clocks.
+package core
+
+import (
+	"repro/internal/coarsen"
+	"repro/internal/embed"
+	"repro/internal/geometry"
+	"repro/internal/geopart"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+// Options configures a ScalaPart run.
+type Options struct {
+	Coarsen   coarsen.Options
+	Embed     embed.ParallelOptions
+	Partition geopart.ParallelConfig
+	Model     mpi.Model
+	// CoarsenRounds is the number of matching-negotiation communication
+	// rounds charged per coarsening step (ParMetis-style distributed
+	// matching resolves match conflicts over several rounds). Default 4.
+	CoarsenRounds int
+	Seed          int64
+}
+
+// DefaultOptions returns the configuration used throughout the paper's
+// evaluation: quartering hierarchy, block size 4, SP-PG7-NL with strip
+// refinement.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Coarsen:   coarsen.Options{Seed: seed, VertsPerRank: 96},
+		Embed:     embed.ParallelOptions{Seed: seed},
+		Partition: geopart.DefaultParallelConfig(),
+		Model:     mpi.DefaultModel(),
+		Seed:      seed,
+	}
+}
+
+// PhaseTimes breaks the modeled execution time (max over ranks) into
+// the three components of Figure 7, with the communication share of
+// each (Figure 8).
+type PhaseTimes struct {
+	Coarsen, Embed, Partition, Total      float64
+	CoarsenComm, EmbedComm, PartitionComm float64
+	TotalComm                             float64
+}
+
+// Result is the outcome of a parallel partitioning run.
+type Result struct {
+	Part      []int32 // global bisection, assembled outside the timed region
+	Cut       int64
+	CutBefore int64 // cut before strip refinement
+	Imbalance float64
+	StripSize int
+	P         int
+	Times     PhaseTimes
+	Stats     []mpi.RankStats
+}
+
+// Partition runs ScalaPart on p simulated ranks and returns the global
+// bisection with its modeled timing breakdown.
+func Partition(g *graph.Graph, p int, opt Options) *Result {
+	if opt.Model == (mpi.Model{}) {
+		opt.Model = mpi.DefaultModel()
+	}
+	if opt.Coarsen.Seed == 0 {
+		opt.Coarsen.Seed = opt.Seed
+	}
+	if opt.Embed.Seed == 0 {
+		opt.Embed.Seed = opt.Seed
+	}
+	if opt.CoarsenRounds == 0 {
+		opt.CoarsenRounds = 4
+	}
+	h := coarsen.BuildHierarchy(g, p, opt.Coarsen)
+	boundary := coarsen.BoundaryEdges(h)
+
+	part := make([]int32, g.NumVertices())
+	times := make([]PhaseTimes, p)
+	var cut, cutBefore int64
+	var imb float64
+	var strip int
+	stats := mpi.Run(p, opt.Model, func(c *mpi.Comm) {
+		t := &times[c.Rank()]
+		ph := c.StartPhase()
+		coarsen.ChargeCosts(c, h, boundary, opt.CoarsenRounds, 2)
+		t.Coarsen, t.CoarsenComm = ph.Stop()
+
+		ph = c.StartPhase()
+		d := embed.ParallelEmbed(c, h, opt.Embed)
+		t.Embed, t.EmbedComm = ph.Stop()
+
+		ph = c.StartPhase()
+		res := geopart.ParallelPartition(c, g, d, opt.Partition)
+		t.Partition, t.PartitionComm = ph.Stop()
+		t.Total = c.Elapsed()
+		t.TotalComm = c.CommElapsed()
+
+		// Assemble the global partition outside the timed region; each
+		// rank owns a disjoint vertex set, so the writes are race-free.
+		for i, id := range res.OwnedIDs {
+			part[id] = res.Side[i]
+		}
+		if c.Rank() == 0 {
+			cut, cutBefore = res.Cut, res.CutBefore
+			imb = res.Imbalance
+			strip = res.StripSize
+		}
+	})
+	return &Result{
+		Part:      part,
+		Cut:       cut,
+		CutBefore: cutBefore,
+		Imbalance: imb,
+		StripSize: strip,
+		P:         p,
+		Times:     maxTimes(times),
+		Stats:     stats,
+	}
+}
+
+// PartitionGeometric runs only the parallel geometric partitioner
+// SP-PG7-NL on pre-existing coordinates (the paper's Figure 4 and the
+// dynamic-repartitioning use case of Section 5): coordinates are
+// assumed already distributed, so only partitioning and refinement are
+// timed.
+func PartitionGeometric(g *graph.Graph, coords []geometry.Vec2, p int, cfg geopart.ParallelConfig, model mpi.Model) *Result {
+	if model == (mpi.Model{}) {
+		model = mpi.DefaultModel()
+	}
+	views := embed.SplitCoords(g, coords, p)
+	part := make([]int32, g.NumVertices())
+	times := make([]PhaseTimes, p)
+	var cut, cutBefore int64
+	var imb float64
+	var strip int
+	stats := mpi.Run(p, model, func(c *mpi.Comm) {
+		ph := c.StartPhase()
+		res := geopart.ParallelPartition(c, g, views[c.Rank()], cfg)
+		t := &times[c.Rank()]
+		t.Partition, t.PartitionComm = ph.Stop()
+		t.Total, t.TotalComm = t.Partition, t.PartitionComm
+		for i, id := range res.OwnedIDs {
+			part[id] = res.Side[i]
+		}
+		if c.Rank() == 0 {
+			cut, cutBefore = res.Cut, res.CutBefore
+			imb = res.Imbalance
+			strip = res.StripSize
+		}
+	})
+	return &Result{
+		Part: part, Cut: cut, CutBefore: cutBefore, Imbalance: imb,
+		StripSize: strip, P: p, Times: maxTimes(times), Stats: stats,
+	}
+}
+
+// RCBParallel times Zoltan-style parallel recursive coordinate
+// bisection on pre-existing coordinates, the paper's scalability
+// yardstick.
+func RCBParallel(g *graph.Graph, coords []geometry.Vec2, p int, model mpi.Model) *Result {
+	if model == (mpi.Model{}) {
+		model = mpi.DefaultModel()
+	}
+	views := embed.SplitCoords(g, coords, p)
+	part := make([]int32, g.NumVertices())
+	times := make([]PhaseTimes, p)
+	var cut int64
+	var imb float64
+	stats := mpi.Run(p, model, func(c *mpi.Comm) {
+		ph := c.StartPhase()
+		res := geopart.ParallelRCB(c, g, views[c.Rank()])
+		t := &times[c.Rank()]
+		t.Partition, t.PartitionComm = ph.Stop()
+		t.Total, t.TotalComm = t.Partition, t.PartitionComm
+		for i, id := range res.OwnedIDs {
+			part[id] = res.Side[i]
+		}
+		if c.Rank() == 0 {
+			cut = res.Cut
+			imb = res.Imbalance
+		}
+	})
+	return &Result{
+		Part: part, Cut: cut, CutBefore: cut, Imbalance: imb,
+		P: p, Times: maxTimes(times), Stats: stats,
+	}
+}
+
+// maxTimes reduces per-rank phase times to their maxima, the modeled
+// parallel time of each phase.
+func maxTimes(ts []PhaseTimes) PhaseTimes {
+	var m PhaseTimes
+	for _, t := range ts {
+		m.Coarsen = max2(m.Coarsen, t.Coarsen)
+		m.Embed = max2(m.Embed, t.Embed)
+		m.Partition = max2(m.Partition, t.Partition)
+		m.Total = max2(m.Total, t.Total)
+		m.CoarsenComm = max2(m.CoarsenComm, t.CoarsenComm)
+		m.EmbedComm = max2(m.EmbedComm, t.EmbedComm)
+		m.PartitionComm = max2(m.PartitionComm, t.PartitionComm)
+		m.TotalComm = max2(m.TotalComm, t.TotalComm)
+	}
+	return m
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+// Package embed implements the graph-embedding machinery of ScalaPart:
+// the Hu-style force model, a sequential multilevel Barnes–Hut layout
+// (the baseline that stands in for the paper's Mathematica embedder),
+// and the paper's main contribution — the fixed-lattice parallel
+// multilevel embedding, in which long-range repulsion is approximated
+// by one special vertex per processor sub-domain and communication is
+// confined to grid neighbours except for one global refresh per block
+// of iterations.
+package embed
+
+import "repro/internal/geometry"
+
+// ForceParams are the force-model "twiddle factors" of Hu (2006), as
+// adopted by the paper: attraction along an edge of length d pulls with
+// magnitude d²/K, repulsion between vertices at distance d pushes with
+// magnitude C·K²/d (scaled by the product of the masses).
+type ForceParams struct {
+	C float64 // repulsive strength
+	K float64 // natural spring length
+}
+
+// DefaultForceParams returns C=0.2, K=1, the values Hu reports to work
+// well in practice.
+func DefaultForceParams() ForceParams { return ForceParams{C: 0.2, K: 1} }
+
+// Attractive returns the attractive force exerted on a vertex at `at`
+// by an edge to `other`: magnitude d²/K toward the neighbour.
+func (fp ForceParams) Attractive(at, other geometry.Vec2) geometry.Vec2 {
+	d := other.Sub(at)
+	dist := d.Norm()
+	if dist < 1e-12 {
+		return geometry.Vec2{}
+	}
+	// unit(d) * dist^2/K == d * dist/K
+	return d.Scale(dist / fp.K)
+}
+
+// Repulsive returns the repulsive force exerted on a unit-mass vertex
+// at `at` by mass `mass` at `from`: magnitude C·K²·mass/d away from it.
+func (fp ForceParams) Repulsive(at, from geometry.Vec2, mass float64) geometry.Vec2 {
+	d := at.Sub(from)
+	dist2 := d.Dot(d)
+	if dist2 < 1e-12 {
+		dist2 = 1e-12
+	}
+	// unit(d) * C*K^2*mass/dist == d * C*K^2*mass/dist^2
+	return d.Scale(fp.C * fp.K * fp.K * mass / dist2)
+}
+
+// StepController implements Hu's adaptive cooling: the step length
+// grows after a run of energy reductions and shrinks otherwise.
+type StepController struct {
+	Step     float64
+	t        float64 // cooling factor
+	progress int
+	prevE    float64
+}
+
+// NewStepController starts with step = initial and cooling factor 0.9.
+func NewStepController(initial float64) *StepController {
+	return &StepController{Step: initial, t: 0.9, prevE: -1}
+}
+
+// Update adapts the step given the current system energy (sum of
+// squared force magnitudes). The first call only records the baseline.
+func (s *StepController) Update(energy float64) {
+	if s.prevE < 0 {
+		s.prevE = energy
+		return
+	}
+	if energy < s.prevE {
+		s.progress++
+		if s.progress >= 5 {
+			s.progress = 0
+			s.Step /= s.t
+		}
+	} else {
+		s.progress = 0
+		s.Step *= s.t
+	}
+	s.prevE = energy
+}

@@ -1,0 +1,750 @@
+package embed
+
+import (
+	"sort"
+
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/quadtree"
+)
+
+// Lattice is one level's geometric decomposition: a tensor lattice of
+// quantile cuts aligned with the processor grid, so sub-domain B(i,j)
+// belongs to grid processor (i,j). This generalises the paper's fixed
+// uniform lattice in the same way its coarsest-level RCB mapping does:
+// cuts follow the point distribution, so boxes stay load balanced.
+type Lattice struct {
+	Grid   mpi.Grid
+	XCuts  []float64 // len Cols+1, ascending; XCuts[0]/XCuts[Cols] are bounds
+	YCuts  []float64 // len Rows+1, ascending
+	Bounds geometry.Rect
+}
+
+// NewLattice builds a lattice for grid from a coordinate sample: cut
+// positions are sample quantiles, independently per axis.
+func NewLattice(grid mpi.Grid, sample []geometry.Vec2, bounds geometry.Rect) *Lattice {
+	l := &Lattice{Grid: grid, Bounds: bounds}
+	xs := make([]float64, len(sample))
+	ys := make([]float64, len(sample))
+	for i, p := range sample {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	l.XCuts = quantileCuts(xs, grid.Cols, bounds.X0, bounds.X1)
+	l.YCuts = quantileCuts(ys, grid.Rows, bounds.Y0, bounds.Y1)
+	return l
+}
+
+// quantileCuts returns k+1 ascending cut positions over [lo, hi] with
+// interior cuts at the sorted sample's quantiles; degenerate samples
+// fall back to uniform spacing.
+func quantileCuts(sorted []float64, k int, lo, hi float64) []float64 {
+	cuts := make([]float64, k+1)
+	cuts[0], cuts[k] = lo, hi
+	for j := 1; j < k; j++ {
+		if len(sorted) > 0 {
+			idx := j * len(sorted) / k
+			if idx >= len(sorted) {
+				idx = len(sorted) - 1
+			}
+			cuts[j] = sorted[idx]
+		} else {
+			cuts[j] = lo + (hi-lo)*float64(j)/float64(k)
+		}
+	}
+	// Enforce strict monotonicity so every box has positive extent.
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	eps := 1e-9 * span
+	for j := 1; j <= k; j++ {
+		if cuts[j] <= cuts[j-1] {
+			cuts[j] = cuts[j-1] + eps
+		}
+	}
+	return cuts
+}
+
+// colOf locates x among the X cuts (clamped to valid columns).
+func locate(cuts []float64, v float64) int {
+	// cuts has k+1 entries for k cells; find the cell index.
+	k := len(cuts) - 1
+	lo, hi := 0, k
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if cuts[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= k {
+		lo = k - 1
+	}
+	return lo
+}
+
+// BoxOf returns the (row, col) lattice cell containing p.
+func (l *Lattice) BoxOf(p geometry.Vec2) (row, col int) {
+	return locate(l.YCuts, p.Y), locate(l.XCuts, p.X)
+}
+
+// RankOf returns the grid rank owning p's cell.
+func (l *Lattice) RankOf(p geometry.Vec2) int {
+	r, c := l.BoxOf(p)
+	return l.Grid.RankAt(r, c)
+}
+
+// BoxRect returns the rectangle of cell (row, col).
+func (l *Lattice) BoxRect(row, col int) geometry.Rect {
+	return geometry.Rect{
+		X0: l.XCuts[col], X1: l.XCuts[col+1],
+		Y0: l.YCuts[row], Y1: l.YCuts[row+1],
+	}
+}
+
+// ClampToNeighborhood implements the paper's ghost-coordinate rule:
+// the coordinate of a ghost vertex is moved into the neighbouring box
+// at shortest L1 distance from the home box (homeRow, homeCol), so
+// every cross-domain edge appears to end in one of the four adjacent
+// sub-domains. Coordinates already in the home box or a 4-neighbour are
+// returned unchanged.
+func (l *Lattice) ClampToNeighborhood(p geometry.Vec2, homeRow, homeCol int) geometry.Vec2 {
+	r, c := l.BoxOf(p)
+	dr, dc := r-homeRow, c-homeCol
+	if abs(dr)+abs(dc) <= 1 {
+		return p
+	}
+	// Nearest 4-neighbour box: keep the dominant offset direction,
+	// capped to distance one.
+	tr, tc := homeRow, homeCol
+	if abs(dr) >= abs(dc) {
+		tr += sign(dr)
+	} else {
+		tc += sign(dc)
+	}
+	box := l.BoxRect(tr, tc)
+	q := box.Clamp(p)
+	// A point clamped exactly onto a box's upper edge would classify
+	// into the next box over (cuts are half-open); nudge inward.
+	if q.X >= box.X1 {
+		q.X = box.X1 - 1e-9*box.Width()
+	}
+	if q.Y >= box.Y1 {
+		q.Y = box.Y1 - 1e-9*box.Height()
+	}
+	return q
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// neighborRef resolves one adjacency endpoint: a local owned index or a
+// ghost slot.
+type neighborRef struct {
+	idx   int32
+	w     float64
+	ghost bool
+}
+
+// beta is one special vertex of the repulsion lattice: total mass and
+// centre of mass of the vertices in one cell. The paper uses one
+// special vertex per processor sub-domain; this implementation refines
+// each rank's box into an s×s sub-cell grid so the global cell count
+// never drops below minGlobalCells — with one cell per rank the
+// approximation degenerates at small P (with P=1 all repulsion would
+// act from a single centre of mass).
+type beta struct {
+	Phi geometry.Vec2
+	Mu  float64
+}
+
+// boxSubCells is the per-rank sub-cell grid side: each box maintains
+// 4×4 special vertices so that border cells can be corrected with the
+// neighbouring box's near-side aggregates.
+const boxSubCells = 4
+
+// levelState is one rank's state while smoothing one level with the
+// fixed lattice scheme.
+type levelState struct {
+	comm *mpi.Comm
+	lat  *Lattice
+	g    *graph.Graph
+
+	ownedIDs []int32
+	pos      []geometry.Vec2 // aligned with ownedIDs
+	mass     []float64
+
+	ghostIDs     []int32
+	ghostPos     []geometry.Vec2 // true (unclamped, possibly stale) coordinates
+	ghostClamped []geometry.Vec2 // ghost coordinates clamped to the 4-neighbourhood
+	ghostSlot    map[int32]int32
+
+	adj      [][]neighborRef // per owned vertex
+	boundary []int32         // owned local indices with a ghost neighbour
+
+	// Ghost update pattern: sendTo[r] lists owned local indices whose
+	// coordinates rank r subscribes to; recvFrom[r] lists ghost slots
+	// filled by rank r's pushes, in r's send order.
+	sendTo   map[int][]int32
+	recvFrom map[int][]int32
+
+	subS    int             // sub-cells per box side
+	betas   []beta          // all global cells, cell-grid row-major
+	myCells []beta          // scratch for this rank's cells (row-major within box)
+	inherit []geometry.Vec2 // per local cell: far-field force per unit mass
+	ring    [][]int         // per local cell: 3x3-adjacent global cells outside this box
+	moves   []geometry.Vec2 // scratch displacement buffer
+	homeR   int
+	homeC   int
+	step    *StepController
+	fp      ForceParams
+	energy  float64 // local energy accumulator for the adaptive step
+	aSum    float64 // local sum of attractive force magnitudes
+	rSum    float64 // local sum of repulsive force magnitudes
+}
+
+// newLevelState wires up a rank's level: adjacency resolution, ghost
+// discovery, and subscription exchange. ownerOf must return the owning
+// rank of any ghost id; it is supplied by the level driver (directory
+// lookup or local computation at the coarsest level).
+func newLevelState(comm *mpi.Comm, lat *Lattice, g *graph.Graph, ownedIDs []int32, pos []geometry.Vec2, ownerOf func(ids []int32) []int, fp ForceParams) *levelState {
+	s := &levelState{
+		comm:      comm,
+		lat:       lat,
+		g:         g,
+		ownedIDs:  ownedIDs,
+		pos:       pos,
+		fp:        fp,
+		ghostSlot: make(map[int32]int32),
+		sendTo:    make(map[int][]int32),
+		recvFrom:  make(map[int][]int32),
+	}
+	s.homeR = lat.Grid.RowOf(comm.Rank())
+	s.homeC = lat.Grid.ColOf(comm.Rank())
+	local := make(map[int32]int32, len(ownedIDs))
+	for i, id := range ownedIDs {
+		local[id] = int32(i)
+	}
+	s.mass = make([]float64, len(ownedIDs))
+	s.adj = make([][]neighborRef, len(ownedIDs))
+	for i, id := range ownedIDs {
+		s.mass[i] = float64(g.VertexWeight(id))
+		refs := make([]neighborRef, 0, g.Degree(id))
+		isBoundary := false
+		for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
+			nb := g.Adjncy[k]
+			w := float64(g.ArcWeight(k))
+			if li, ok := local[nb]; ok {
+				refs = append(refs, neighborRef{idx: li, w: w})
+				continue
+			}
+			isBoundary = true
+			slot, ok := s.ghostSlot[nb]
+			if !ok {
+				slot = int32(len(s.ghostIDs))
+				s.ghostSlot[nb] = slot
+				s.ghostIDs = append(s.ghostIDs, nb)
+			}
+			refs = append(refs, neighborRef{idx: slot, w: w, ghost: true})
+		}
+		s.adj[i] = refs
+		if isBoundary {
+			s.boundary = append(s.boundary, int32(i))
+		}
+	}
+	s.ghostPos = make([]geometry.Vec2, len(s.ghostIDs))
+	s.ghostClamped = make([]geometry.Vec2, len(s.ghostIDs))
+	// Subscribe to ghost owners; the symmetric exchange also tells us
+	// which of our owned vertices other ranks need.
+	owners := ownerOf(s.ghostIDs)
+	requests := make([][]int32, comm.Size())
+	for i, o := range owners {
+		if o == comm.Rank() {
+			panic("embed: ghost owned by requesting rank")
+		}
+		requests[o] = append(requests[o], s.ghostIDs[i])
+	}
+	for o, ids := range requests {
+		if len(ids) == 0 {
+			continue
+		}
+		slots := make([]int32, len(ids))
+		for i, id := range ids {
+			slots[i] = s.ghostSlot[id]
+		}
+		s.recvFrom[o] = slots
+	}
+	got := mpi.AllToAllV(s.comm, requests, 4)
+	for r, ids := range got {
+		if r == comm.Rank() || len(ids) == 0 {
+			continue
+		}
+		idxs := make([]int32, len(ids))
+		for i, id := range ids {
+			li, ok := local[id]
+			if !ok {
+				panic("embed: subscription request for vertex not owned here")
+			}
+			idxs[i] = li
+		}
+		s.sendTo[r] = idxs
+	}
+	s.subS = boxSubCells
+	s.betas = make([]beta, lat.Grid.Size()*s.subS*s.subS)
+	s.myCells = make([]beta, s.subS*s.subS)
+	s.inherit = make([]geometry.Vec2, s.subS*s.subS)
+	s.moves = make([]geometry.Vec2, len(s.pos))
+	s.ring = make([][]int, s.subS*s.subS)
+	rows, cols := s.cellRows(), s.cellCols()
+	for cy := 0; cy < s.subS; cy++ {
+		for cx := 0; cx < s.subS; cx++ {
+			gi := s.globalCell(cy, cx)
+			gr, gc := gi/cols, gi%cols
+			var out []int
+			for dr := -1; dr <= 1; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					nr, ncl := gr+dr, gc+dc
+					if nr < 0 || nr >= rows || ncl < 0 || ncl >= cols {
+						continue
+					}
+					// Outside this box = a different rank's cell.
+					if nr/s.subS != s.homeR || ncl/s.subS != s.homeC {
+						out = append(out, nr*cols+ncl)
+					}
+				}
+			}
+			s.ring[cy*s.subS+cx] = out
+		}
+	}
+	s.step = NewStepController(fp.K)
+	return s
+}
+
+// Cell-grid geometry: the global repulsion lattice has
+// (Grid.Rows·subS) × (Grid.Cols·subS) cells; rank (br,bc) owns the
+// subS×subS block starting at (br·subS, bc·subS). betas is row-major
+// over this global grid.
+
+// cellRows and cellCols are the global cell-grid dimensions.
+func (s *levelState) cellCols() int { return s.lat.Grid.Cols * s.subS }
+func (s *levelState) cellRows() int { return s.lat.Grid.Rows * s.subS }
+
+// globalCell converts a local cell (cy,cx) to a global cell index.
+func (s *levelState) globalCell(cy, cx int) int {
+	gr := s.homeR*s.subS + cy
+	gc := s.homeC*s.subS + cx
+	return gr*s.cellCols() + gc
+}
+
+// cellBase returns the global index of another rank's first cell row
+// offset; used when scattering gathered cells.
+func (s *levelState) placeCells(rank int, cells []beta) {
+	br := s.lat.Grid.RowOf(rank)
+	bc := s.lat.Grid.ColOf(rank)
+	for cy := 0; cy < s.subS; cy++ {
+		gr := br*s.subS + cy
+		copy(s.betas[gr*s.cellCols()+bc*s.subS:gr*s.cellCols()+bc*s.subS+s.subS],
+			cells[cy*s.subS:(cy+1)*s.subS])
+	}
+}
+
+// cellOf returns the local sub-cell index of a point in this rank's
+// box (clamped for points that drifted outside).
+func (s *levelState) cellOf(p geometry.Vec2) int {
+	box := s.lat.BoxRect(s.homeR, s.homeC)
+	w, h := box.Width(), box.Height()
+	cx, cy := 0, 0
+	if w > 0 {
+		cx = int(float64(s.subS) * (p.X - box.X0) / w)
+	}
+	if h > 0 {
+		cy = int(float64(s.subS) * (p.Y - box.Y0) / h)
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= s.subS {
+		cx = s.subS - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= s.subS {
+		cy = s.subS - 1
+	}
+	return cy*s.subS + cx
+}
+
+// computeCells refreshes this rank's sub-cell aggregates from the owned
+// points and installs them in the global cell array.
+func (s *levelState) computeCells() {
+	for i := range s.myCells {
+		s.myCells[i] = beta{}
+	}
+	sums := make([]geometry.Vec2, len(s.myCells))
+	for i := range s.pos {
+		c := s.cellOf(s.pos[i])
+		sums[c] = sums[c].Add(s.pos[i].Scale(s.mass[i]))
+		s.myCells[c].Mu += s.mass[i]
+	}
+	box := s.lat.BoxRect(s.homeR, s.homeC)
+	for c := range s.myCells {
+		if s.myCells[c].Mu > 0 {
+			s.myCells[c].Phi = sums[c].Scale(1 / s.myCells[c].Mu)
+		} else {
+			// Empty cell: park its centre inside the box; zero mass
+			// keeps it out of force sums.
+			s.myCells[c].Phi = box.Center()
+		}
+	}
+	s.placeCells(s.comm.Rank(), s.myCells)
+}
+
+// pushGhosts sends subscribed coordinates to every subscription
+// partner: the full once-per-block refresh.
+func (s *levelState) pushGhosts() {
+	for r := 0; r < s.comm.Size(); r++ {
+		idxs, ok := s.sendTo[r]
+		if !ok {
+			continue
+		}
+		payload := make([]geometry.Vec2, len(idxs))
+		for i, li := range idxs {
+			payload[i] = s.pos[li]
+		}
+		s.comm.Send(r, payload, 16*len(payload))
+	}
+	for r := 0; r < s.comm.Size(); r++ {
+		slots, ok := s.recvFrom[r]
+		if !ok {
+			continue
+		}
+		s.applyGhostUpdate(slots, s.comm.Recv(r).([]geometry.Vec2))
+	}
+}
+
+func (s *levelState) applyGhostUpdate(slots []int32, payload []geometry.Vec2) {
+	for i, slot := range slots {
+		s.ghostPos[slot] = payload[i]
+		s.ghostClamped[slot] = s.lat.ClampToNeighborhood(payload[i], s.homeR, s.homeC)
+	}
+}
+
+// haloPayload is the combined per-iteration neighbour message: the
+// sender's sub-cell special vertices plus the boundary coordinates the
+// receiver subscribes to — one message per grid neighbour per
+// iteration, as the paper's nearest-neighbour traffic.
+type haloPayload struct {
+	Cells  []beta
+	Coords []geometry.Vec2
+}
+
+// exchangeNeighborhood performs the per-iteration nearest-neighbour
+// exchange: sub-cell aggregates and subscribed boundary coordinates
+// move to the four grid neighbours in a single message each; everything
+// else stays stale within the block.
+func (s *levelState) exchangeNeighborhood() {
+	s.computeCells()
+	grid := s.lat.Grid
+	nbrs := grid.Neighbors(s.comm.Rank())
+	for _, r := range nbrs {
+		pl := haloPayload{Cells: append([]beta(nil), s.myCells...)}
+		if idxs, ok := s.sendTo[r]; ok {
+			pl.Coords = make([]geometry.Vec2, len(idxs))
+			for i, li := range idxs {
+				pl.Coords[i] = s.pos[li]
+			}
+		}
+		s.comm.Send(r, pl, 24*len(pl.Cells)+16*len(pl.Coords))
+	}
+	for _, r := range nbrs {
+		pl := s.comm.Recv(r).(haloPayload)
+		s.placeCells(r, pl.Cells)
+		if slots, ok := s.recvFrom[r]; ok {
+			s.applyGhostUpdate(slots, pl.Coords)
+		}
+	}
+}
+
+// refreshBetasGlobal gathers every rank's sub-cell special vertices
+// (the once-per-block collective of the paper).
+func (s *levelState) refreshBetasGlobal() {
+	s.computeCells()
+	all := mpi.AllGather(s.comm, append([]beta(nil), s.myCells...), 24*len(s.myCells))
+	for r, cells := range all {
+		s.placeCells(r, cells)
+	}
+}
+
+// iterate runs one force iteration. Repulsion has three tiers:
+// within this rank's own box a Barnes–Hut quadtree over the owned
+// points gives sequential-quality near-field forces (at P=1 the scheme
+// therefore reduces to the sequential algorithm); remote boxes act
+// through their special-vertex aggregates, inherited once per local
+// sub-cell exactly as in Eq. (1)–(2) of the paper; and the sub-cells of
+// neighbouring boxes that touch a border cell are evaluated per vertex
+// to correct the border near field. Attraction is exact, with ghost
+// positions clamped to the 4-neighbourhood per the paper. The paper's
+// mass products are interpreted per unit mass so repulsion and
+// attraction stay commensurate.
+func (s *levelState) iterate() {
+	me := s.comm.Rank()
+	fp := s.fp
+	nc := len(s.myCells)
+	// Remote-rank aggregates from the (possibly block-stale) cell
+	// array.
+	aggs := make([]beta, s.lat.Grid.Size())
+	for r := range aggs {
+		if r == me {
+			continue
+		}
+		br, bc := s.lat.Grid.RowOf(r), s.lat.Grid.ColOf(r)
+		var sum geometry.Vec2
+		mu := 0.0
+		for cy := 0; cy < s.subS; cy++ {
+			gr := br*s.subS + cy
+			base := gr*s.cellCols() + bc*s.subS
+			for cx := 0; cx < s.subS; cx++ {
+				b := s.betas[base+cx]
+				sum = sum.Add(b.Phi.Scale(b.Mu))
+				mu += b.Mu
+			}
+		}
+		if mu > 0 {
+			aggs[r] = beta{Phi: sum.Scale(1 / mu), Mu: mu}
+		}
+	}
+	// Per-cell inherited far field: all remote rank aggregates, minus
+	// the ring cells handled per vertex below (they are part of their
+	// rank's aggregate, so their lumped contribution is subtracted).
+	for c := 0; c < nc; c++ {
+		mine := s.betas[s.globalCell(c/s.subS, c%s.subS)]
+		var f geometry.Vec2
+		if mine.Mu > 0 {
+			for r, a := range aggs {
+				if r == me || a.Mu == 0 {
+					continue
+				}
+				f = f.Add(fp.Repulsive(mine.Phi, a.Phi, a.Mu))
+			}
+			for _, gi := range s.ring[c] {
+				b := s.betas[gi]
+				if b.Mu > 0 {
+					f = f.Sub(fp.Repulsive(mine.Phi, b.Phi, b.Mu))
+				}
+			}
+		}
+		s.inherit[c] = f
+	}
+	// Own-box Barnes–Hut tree.
+	tree := quadtree.Build(s.pos, s.mass)
+	energy := 0.0
+	aSum, rSum := 0.0, 0.0
+	for i := range s.pos {
+		p := s.pos[i]
+		cell := s.cellOf(p)
+		rep := s.inherit[cell].Scale(s.mass[i])
+		for _, gi := range s.ring[cell] {
+			b := s.betas[gi]
+			if b.Mu > 0 {
+				rep = rep.Add(fp.Repulsive(p, b.Phi, b.Mu).Scale(s.mass[i]))
+			}
+		}
+		mi := s.mass[i]
+		tree.ForEachCluster(p, int32(i), 0.9, func(com geometry.Vec2, m float64, _ int32) {
+			rep = rep.Add(fp.Repulsive(p, com, m).Scale(mi))
+		})
+		var att geometry.Vec2
+		for _, ref := range s.adj[i] {
+			var q geometry.Vec2
+			if ref.ghost {
+				q = s.ghostClamped[ref.idx]
+			} else {
+				q = s.pos[ref.idx]
+			}
+			att = att.Add(fp.Attractive(p, q).Scale(ref.w))
+		}
+		aSum += att.Norm()
+		rSum += rep.Norm()
+		f := rep.Add(att)
+		energy += f.Dot(f)
+		n := f.Norm()
+		if n > 1e-12 {
+			s.moves[i] = f.Scale(s.step.Step / n)
+		} else {
+			s.moves[i] = geometry.Vec2{}
+		}
+	}
+	for i := range s.pos {
+		s.pos[i] = s.pos[i].Add(s.moves[i])
+	}
+	s.energy = energy
+	s.aSum = aSum
+	s.rSum = rSum
+	// Model: per owned vertex, ~theta-visit Barnes–Hut terms plus the
+	// degree attractive terms; per cell, the remote-aggregate loop. A
+	// charged unit is one force kernel evaluation (a handful of fused
+	// floating-point operations).
+	ops := float64(nc * (s.lat.Grid.Size() + 8))
+	for i := range s.adj {
+		ops += float64(len(s.adj[i])) + 16
+	}
+	s.comm.Charge(ops)
+}
+
+// rescale multiplies every coordinate and the lattice geometry by f,
+// moving the layout toward its force equilibrium (attraction scales as
+// f², repulsion as 1/f). Every rank applies the same factor, so box
+// ownership and all relative geometry are preserved.
+func (s *levelState) rescale(f float64) {
+	for i := range s.pos {
+		s.pos[i] = s.pos[i].Scale(f)
+	}
+	for i := range s.ghostPos {
+		s.ghostPos[i] = s.ghostPos[i].Scale(f)
+		s.ghostClamped[i] = s.ghostClamped[i].Scale(f)
+	}
+	for i := range s.betas {
+		s.betas[i].Phi = s.betas[i].Phi.Scale(f)
+	}
+	for i := range s.lat.XCuts {
+		s.lat.XCuts[i] *= f
+	}
+	for i := range s.lat.YCuts {
+		s.lat.YCuts[i] *= f
+	}
+	s.lat.Bounds = s.lat.Bounds.Scale(f)
+	s.step.Step *= f
+	s.comm.Charge(float64(len(s.pos)))
+}
+
+// Smooth runs iters iterations of the fixed-lattice scheme with the
+// given staleness block size: global collectives (full ghost push,
+// full beta gather, and one reduction driving the adaptive step and the
+// equilibrium rescaling) run once per block; within a block only
+// grid-neighbour exchanges happen.
+func (s *levelState) Smooth(iters, blockSize int) {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	for it := 0; it < iters; it++ {
+		if it%blockSize == 0 {
+			if it > 0 {
+				// One reduction per block: system energy for Hu's
+				// adaptive step plus the attraction/repulsion balance
+				// for the global equilibrium rescaling.
+				sums := mpi.AllReduceSlice(s.comm, []float64{s.energy, s.aSum, s.rSum}, 8, mpi.SumFloat64)
+				s.step.Update(sums[0])
+				if sums[1] > 1e-12 && sums[2] > 1e-12 {
+					f := cbrt(sums[2] / sums[1])
+					if f < 0.75 {
+						f = 0.75
+					}
+					if f > 1.75 {
+						f = 1.75
+					}
+					s.rescale(f)
+				}
+			}
+			s.pushGhosts()
+			s.refreshBetasGlobal()
+		} else {
+			s.exchangeNeighborhood()
+		}
+		s.iterate()
+	}
+}
+
+// cbrt is math.Cbrt without pulling the import into the hot path docs.
+func cbrt(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	// Newton iterations from a decent seed are plenty here.
+	y := x
+	if y > 1 {
+		for y > 8 {
+			y /= 8
+		}
+	} else {
+		for y < 0.125 {
+			y *= 8
+		}
+	}
+	g := 1.0
+	for i := 0; i < 30; i++ {
+		g = (2*g + x/(g*g)) / 3
+	}
+	return g
+}
+
+// Distributed is the embedding handed to the parallel geometric
+// partitioner: this rank's owned vertices with final coordinates, plus
+// (possibly one block stale) coordinates for every ghost neighbour.
+type Distributed struct {
+	Lat      *Lattice
+	OwnedIDs []int32
+	OwnedPos []geometry.Vec2
+	GhostIDs []int32
+	GhostPos []geometry.Vec2
+
+	ghostSlot map[int32]int32
+	localSlot map[int32]int32
+}
+
+// finish freezes the level state into a Distributed embedding after a
+// final full ghost refresh.
+func (s *levelState) finish() *Distributed {
+	s.pushGhosts()
+	d := &Distributed{
+		Lat:       s.lat,
+		OwnedIDs:  s.ownedIDs,
+		OwnedPos:  s.pos,
+		GhostIDs:  s.ghostIDs,
+		GhostPos:  s.ghostPos,
+		ghostSlot: s.ghostSlot,
+		localSlot: make(map[int32]int32, len(s.ownedIDs)),
+	}
+	for i, id := range s.ownedIDs {
+		d.localSlot[id] = int32(i)
+	}
+	return d
+}
+
+// PosOf returns the coordinate of an owned or ghost vertex.
+func (d *Distributed) PosOf(id int32) (geometry.Vec2, bool) {
+	if li, ok := d.localSlot[id]; ok {
+		return d.OwnedPos[li], true
+	}
+	if gi, ok := d.ghostSlot[id]; ok {
+		return d.GhostPos[gi], true
+	}
+	return geometry.Vec2{}, false
+}
+
+// Owns reports whether id is owned by this rank.
+func (d *Distributed) Owns(id int32) bool {
+	_, ok := d.localSlot[id]
+	return ok
+}

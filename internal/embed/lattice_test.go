@@ -1,0 +1,160 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geometry"
+	"repro/internal/mpi"
+)
+
+func testLattice(rows, cols int, seed int64) *Lattice {
+	rng := rand.New(rand.NewSource(seed))
+	sample := make([]geometry.Vec2, 500)
+	for i := range sample {
+		sample[i] = geometry.Vec2{X: rng.Float64() * 10, Y: rng.Float64() * 6}
+	}
+	return NewLattice(mpi.Grid{Rows: rows, Cols: cols}, sample, geometry.Rect{X0: 0, Y0: 0, X1: 10, Y1: 6})
+}
+
+func TestLatticeCutsMonotone(t *testing.T) {
+	l := testLattice(3, 4, 1)
+	for i := 1; i < len(l.XCuts); i++ {
+		if l.XCuts[i] <= l.XCuts[i-1] {
+			t.Fatalf("XCuts not strictly increasing: %v", l.XCuts)
+		}
+	}
+	for i := 1; i < len(l.YCuts); i++ {
+		if l.YCuts[i] <= l.YCuts[i-1] {
+			t.Fatalf("YCuts not strictly increasing: %v", l.YCuts)
+		}
+	}
+	if len(l.XCuts) != 5 || len(l.YCuts) != 4 {
+		t.Fatalf("cut counts %d/%d", len(l.XCuts), len(l.YCuts))
+	}
+}
+
+func TestLatticeDegenerateSample(t *testing.T) {
+	// All sample points identical: uniform fallback plus epsilon
+	// separation must still give positive-width boxes.
+	same := make([]geometry.Vec2, 50)
+	for i := range same {
+		same[i] = geometry.Vec2{X: 5, Y: 3}
+	}
+	l := NewLattice(mpi.Grid{Rows: 2, Cols: 2}, same, geometry.Rect{X0: 0, Y0: 0, X1: 10, Y1: 6})
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			box := l.BoxRect(r, c)
+			if box.Width() <= 0 || box.Height() <= 0 {
+				t.Fatalf("box (%d,%d) degenerate: %+v", r, c, box)
+			}
+		}
+	}
+}
+
+// TestBoxOfRankOfConsistent: a point inside box (r,c) must map to the
+// rank at (r,c), and BoxRect must contain it (after clamping).
+func TestBoxOfRankOfConsistent(t *testing.T) {
+	l := testLattice(3, 3, 2)
+	f := func(xr, yr float64) bool {
+		p := geometry.Vec2{X: mod(xr, 10), Y: mod(yr, 6)}
+		r, c := l.BoxOf(p)
+		if r < 0 || r >= 3 || c < 0 || c >= 3 {
+			return false
+		}
+		if l.RankOf(p) != l.Grid.RankAt(r, c) {
+			return false
+		}
+		box := l.BoxRect(r, c)
+		return box.Contains(box.Clamp(p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mod(x, m float64) float64 {
+	v := x - float64(int(x/m))*m
+	if v < 0 {
+		v += m
+	}
+	return v
+}
+
+// TestClampToNeighborhood: the result must always lie in the home box
+// or one of its 4-neighbours, and points already there are unchanged.
+func TestClampToNeighborhood(t *testing.T) {
+	l := testLattice(4, 4, 3)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		hr, hc := rng.Intn(4), rng.Intn(4)
+		p := geometry.Vec2{X: rng.Float64()*14 - 2, Y: rng.Float64()*10 - 2}
+		q := l.ClampToNeighborhood(p, hr, hc)
+		r, c := l.BoxOf(q)
+		dr, dc := r-hr, c-hc
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr+dc > 1 {
+			t.Fatalf("clamped point in box (%d,%d), home (%d,%d)", r, c, hr, hc)
+		}
+		// Idempotence: clamping again changes nothing.
+		if q2 := l.ClampToNeighborhood(q, hr, hc); q2.Dist(q) > 1e-12 {
+			t.Fatalf("clamp not idempotent: %v -> %v", q, q2)
+		}
+	}
+}
+
+func TestStepControllerAdapts(t *testing.T) {
+	s := NewStepController(1.0)
+	// A baseline plus five consecutive improvements grow the step.
+	for e := 10.0; e > 4; e-- {
+		s.Update(e)
+	}
+	if s.Step <= 1.0 {
+		t.Fatalf("step %v after sustained improvement, want growth", s.Step)
+	}
+	grown := s.Step
+	// A regression shrinks it.
+	s.Update(100)
+	if s.Step >= grown {
+		t.Fatalf("step %v after regression, want shrink from %v", s.Step, grown)
+	}
+}
+
+func TestForceModel(t *testing.T) {
+	fp := DefaultForceParams()
+	// Attraction points toward the neighbour and grows ~quadratically.
+	a1 := fp.Attractive(geometry.Vec2{}, geometry.Vec2{X: 1})
+	a2 := fp.Attractive(geometry.Vec2{}, geometry.Vec2{X: 2})
+	if a1.X <= 0 || a2.X/a1.X < 3.9 || a2.X/a1.X > 4.1 {
+		t.Fatalf("attraction scaling wrong: %v %v", a1, a2)
+	}
+	// Repulsion points away and decays ~1/d.
+	r1 := fp.Repulsive(geometry.Vec2{}, geometry.Vec2{X: 1}, 1)
+	r2 := fp.Repulsive(geometry.Vec2{}, geometry.Vec2{X: 2}, 1)
+	if r1.X >= 0 || r2.X/r1.X < 0.45 || r2.X/r1.X > 0.55 {
+		t.Fatalf("repulsion scaling wrong: %v %v", r1, r2)
+	}
+	// Coincident points must not produce NaN/Inf.
+	if f := fp.Repulsive(geometry.Vec2{X: 1, Y: 1}, geometry.Vec2{X: 1, Y: 1}, 1); f.Norm() != f.Norm() {
+		t.Fatal("NaN repulsion at zero distance")
+	}
+}
+
+func TestSubCellGeometry(t *testing.T) {
+	if boxSubCells != 4 {
+		t.Skip("test assumes 4x4 sub-cells")
+	}
+	// cbrt sanity.
+	if v := cbrt(8); v < 1.99 || v > 2.01 {
+		t.Fatalf("cbrt(8) = %v", v)
+	}
+	if v := cbrt(0); v != 1 {
+		t.Fatalf("cbrt(0) = %v, want fallback 1", v)
+	}
+}

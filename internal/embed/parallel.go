@@ -1,0 +1,248 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/coarsen"
+	"repro/internal/geometry"
+	"repro/internal/mpi"
+)
+
+// ParallelOptions configures the multilevel fixed-lattice parallel
+// embedding.
+type ParallelOptions struct {
+	Force        ForceParams
+	BlockSize    int // iterations between global refreshes (paper: 2–8), default 4
+	IterCoarsest int // default 200
+	IterSmooth   int // per finer level, default 30
+	Seed         int64
+}
+
+func (o ParallelOptions) withDefaults() ParallelOptions {
+	if o.Force == (ForceParams{}) {
+		o.Force = DefaultForceParams()
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 4
+	}
+	if o.IterCoarsest == 0 {
+		o.IterCoarsest = 200
+	}
+	if o.IterSmooth == 0 {
+		o.IterSmooth = 30
+	}
+	return o
+}
+
+// idPos is a routed vertex: id plus current coordinate.
+type idPos struct {
+	ID int32
+	P  geometry.Vec2
+}
+
+// ParallelEmbed runs the paper's multilevel fixed-lattice embedding
+// over the hierarchy h (which must have been built for c.Size() ranks):
+// the coarsest graph is embedded from random coordinates on its few
+// active ranks, then each finer level inherits scaled, jittered
+// coordinates, is re-distributed onto a quadrupled processor grid via
+// the quantile lattice, and smoothed with the fixed-lattice scheme.
+// Every rank of c must call it; the return value is this rank's
+// distributed share of the finest-level embedding.
+func ParallelEmbed(c *mpi.Comm, h *coarsen.Hierarchy, opt ParallelOptions) *Distributed {
+	opt = opt.withDefaults()
+	last := len(h.Levels) - 1
+	var st *levelState
+	for li := last; li >= 0; li-- {
+		lev := &h.Levels[li]
+		sub := c.SubComm(lev.Ranks)
+		if sub == nil {
+			continue // this rank is not active yet
+		}
+		if li == last {
+			st = initCoarsest(sub, lev, opt)
+			st.Smooth(opt.IterCoarsest, opt.BlockSize)
+			continue
+		}
+		st = projectLevel(sub, h, li, st, opt)
+		st.Smooth(opt.IterSmooth, opt.BlockSize)
+	}
+	if st == nil {
+		// This rank never activated: the hierarchy folded the embedding
+		// onto fewer ranks than the world holds (small graph, large P).
+		// It owns nothing but still participates in later full-world
+		// collectives.
+		return &Distributed{
+			ghostSlot: map[int32]int32{},
+			localSlot: map[int32]int32{},
+		}
+	}
+	return st.finish()
+}
+
+// initCoarsest assigns deterministic random coordinates to the coarsest
+// graph and sets up its lattice. Every active rank generates the full
+// (small) coordinate array with the same seed, so box ownership and
+// ghost owners are locally computable; the modeled cost charges the
+// generation and one synchronising broadcast.
+func initCoarsest(sub *mpi.Comm, lev *coarsen.Level, opt ParallelOptions) *levelState {
+	g := lev.G
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(opt.Seed<<8 + 101))
+	side := opt.Force.K * math.Sqrt(float64(n))
+	all := make([]geometry.Vec2, n)
+	for i := range all {
+		all[i] = geometry.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	bounds := geometry.Rect{X0: 0, Y0: 0, X1: side, Y1: side}
+	grid := mpi.GridFor(sub.Size())
+	lat := NewLattice(grid, all, bounds)
+	var ownedIDs []int32
+	var pos []geometry.Vec2
+	for i, p := range all {
+		if lat.RankOf(p) == sub.Rank() {
+			ownedIDs = append(ownedIDs, int32(i))
+			pos = append(pos, p)
+		}
+	}
+	ownerOf := func(ids []int32) []int {
+		out := make([]int, len(ids))
+		for i, id := range ids {
+			out[i] = lat.RankOf(all[id])
+		}
+		return out
+	}
+	sub.Charge(float64(n))
+	sub.Bcast(0, nil, 16*n)
+	return newLevelState(sub, lat, g, ownedIDs, pos, ownerOf, opt.Force)
+}
+
+// projectLevel carries the embedding from level li+1 down to level li:
+// coordinates are scaled ×2, fine vertices are jittered around their
+// coarse parent, the lattice is rebuilt for the quadrupled grid from a
+// coordinate sample, vertices are routed to their new owners, and ghost
+// owners are resolved through a distributed directory.
+func projectLevel(sub *mpi.Comm, h *coarsen.Hierarchy, li int, coarse *levelState, opt ParallelOptions) *levelState {
+	fineLev := &h.Levels[li]
+	g := fineLev.G
+	jrng := rand.New(rand.NewSource(opt.Seed<<8 + int64(li)*1009 + int64(sub.Rank())))
+	var created []idPos
+	if coarse != nil {
+		for ci, cid := range coarse.ownedIDs {
+			q := coarse.pos[ci].Scale(2)
+			for _, v := range fineLev.ChildrenOf(cid) {
+				j := geometry.Vec2{
+					X: jrng.Float64() - 0.5,
+					Y: jrng.Float64() - 0.5,
+				}.Scale(0.5 * opt.Force.K)
+				created = append(created, idPos{ID: v, P: q.Add(j)})
+			}
+		}
+		coarse.comm.Charge(float64(len(created)) * 4)
+	}
+	// Global bounds of the projected coordinates.
+	lo := geometry.Vec2{X: math.Inf(1), Y: math.Inf(1)}
+	hi := geometry.Vec2{X: math.Inf(-1), Y: math.Inf(-1)}
+	for _, ip := range created {
+		lo.X = math.Min(lo.X, ip.P.X)
+		lo.Y = math.Min(lo.Y, ip.P.Y)
+		hi.X = math.Max(hi.X, ip.P.X)
+		hi.Y = math.Max(hi.Y, ip.P.Y)
+	}
+	lo = mpi.AllReduce(sub, lo, 16, func(a, b geometry.Vec2) geometry.Vec2 {
+		return geometry.Vec2{X: math.Min(a.X, b.X), Y: math.Min(a.Y, b.Y)}
+	})
+	hi = mpi.AllReduce(sub, hi, 16, func(a, b geometry.Vec2) geometry.Vec2 {
+		return geometry.Vec2{X: math.Max(a.X, b.X), Y: math.Max(a.Y, b.Y)}
+	})
+	bounds := geometry.Rect{X0: lo.X, Y0: lo.Y, X1: hi.X, Y1: hi.Y}.Expand(0.5 * opt.Force.K)
+	// Quantile lattice from a gathered sample.
+	grid := mpi.GridFor(sub.Size())
+	per := 4096/sub.Size() + 1
+	var mySample []geometry.Vec2
+	if len(created) > 0 {
+		stride := len(created)/per + 1
+		for i := 0; i < len(created); i += stride {
+			mySample = append(mySample, created[i].P)
+		}
+	}
+	sample := mpi.Concat(mpi.AllGatherV(sub, mySample, 16))
+	lat := NewLattice(grid, sample, bounds)
+	// Route vertices to their new owners.
+	dest := make([][]idPos, sub.Size())
+	for _, ip := range created {
+		r := lat.RankOf(ip.P)
+		dest[r] = append(dest[r], ip)
+	}
+	recv := mpi.AllToAllV(sub, dest, 20)
+	var mine []idPos
+	for _, part := range recv {
+		mine = append(mine, part...)
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].ID < mine[j].ID })
+	ownedIDs := make([]int32, len(mine))
+	pos := make([]geometry.Vec2, len(mine))
+	for i, ip := range mine {
+		ownedIDs[i] = ip.ID
+		pos[i] = ip.P
+	}
+	// Distributed directory for ghost-owner resolution.
+	dir := buildDirectory(sub, ownedIDs)
+	ownerOf := func(ids []int32) []int { return queryOwners(sub, dir, ids) }
+	return newLevelState(sub, lat, g, ownedIDs, pos, ownerOf, opt.Force)
+}
+
+// buildDirectory publishes vertex ownership to hashed directory ranks:
+// the owner of vertex v is registered at rank v mod P.
+func buildDirectory(c *mpi.Comm, owned []int32) map[int32]int32 {
+	dest := make([][]int32, c.Size())
+	for _, id := range owned {
+		d := int(id) % c.Size()
+		dest[d] = append(dest[d], id)
+	}
+	got := mpi.AllToAllV(c, dest, 4)
+	dir := make(map[int32]int32)
+	for src, ids := range got {
+		for _, id := range ids {
+			dir[id] = int32(src)
+		}
+	}
+	return dir
+}
+
+// queryOwners resolves the owning rank of each id through the hashed
+// directory built by buildDirectory (two all-to-all rounds).
+func queryOwners(c *mpi.Comm, dir map[int32]int32, ids []int32) []int {
+	queries := make([][]int32, c.Size())
+	posOf := make([][]int, c.Size())
+	for i, id := range ids {
+		d := int(id) % c.Size()
+		queries[d] = append(queries[d], id)
+		posOf[d] = append(posOf[d], i)
+	}
+	asked := mpi.AllToAllV(c, queries, 4)
+	answers := make([][]int32, c.Size())
+	for src, qs := range asked {
+		if len(qs) == 0 {
+			continue
+		}
+		ans := make([]int32, len(qs))
+		for i, id := range qs {
+			owner, ok := dir[id]
+			if !ok {
+				panic("embed: directory miss")
+			}
+			ans[i] = owner
+		}
+		answers[src] = ans
+	}
+	replies := mpi.AllToAllV(c, answers, 4)
+	out := make([]int, len(ids))
+	for d, reply := range replies {
+		for i, owner := range reply {
+			out[posOf[d][i]] = int(owner)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/coarsen"
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/quadtree"
+)
+
+// SeqOptions configures the sequential multilevel force-directed
+// layout.
+type SeqOptions struct {
+	Force        ForceParams
+	Theta        float64 // Barnes–Hut opening criterion, default 0.85
+	IterCoarsest int     // iterations at the coarsest level, default 200
+	IterSmooth   int     // iterations at finer levels, default 50
+	CoarsestSize int     // stop coarsening at this size, default 400
+	Seed         int64
+}
+
+func (o SeqOptions) withDefaults() SeqOptions {
+	if o.Force == (ForceParams{}) {
+		o.Force = DefaultForceParams()
+	}
+	if o.Theta == 0 {
+		o.Theta = 0.85
+	}
+	if o.IterCoarsest == 0 {
+		o.IterCoarsest = 200
+	}
+	if o.IterSmooth == 0 {
+		o.IterSmooth = 50
+	}
+	if o.CoarsestSize == 0 {
+		o.CoarsestSize = 400
+	}
+	return o
+}
+
+// SequentialLayout embeds g in the plane with the multilevel
+// force-directed scheme of Hu (2006): coarsen with heavy-edge matching,
+// lay out the coarsest graph from random positions, then repeatedly
+// interpolate to the next finer level and smooth with Barnes–Hut
+// approximated forces. It is the stand-in for the Mathematica embedder
+// the paper uses to give coordinates to RCB and the sequential
+// geometric partitioners.
+func SequentialLayout(g *graph.Graph, opt SeqOptions) []geometry.Vec2 {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	h := coarsen.BuildHierarchy(g, 1, coarsen.Options{
+		CoarsestSize:  opt.CoarsestSize,
+		StepsPerLevel: 1,
+		Seed:          opt.Seed,
+	})
+	levels := h.Levels
+	coarsest := levels[len(levels)-1].G
+	// Random initial positions in a box sized for ~K spacing.
+	side := opt.Force.K * math.Sqrt(float64(coarsest.NumVertices()))
+	pos := make([]geometry.Vec2, coarsest.NumVertices())
+	for i := range pos {
+		pos[i] = geometry.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	smoothLevel(coarsest, pos, opt, opt.IterCoarsest)
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		finePos := make([]geometry.Vec2, fine.G.NumVertices())
+		for v := range finePos {
+			cv := fine.ToCoarse[v]
+			// Interpolate: coarse position scaled ×2 plus jitter.
+			j := geometry.Vec2{X: rng.Float64() - 0.5, Y: rng.Float64() - 0.5}.Scale(0.5 * opt.Force.K)
+			finePos[v] = pos[cv].Scale(2).Add(j)
+		}
+		pos = finePos
+		smoothLevel(fine.G, pos, opt, opt.IterSmooth)
+	}
+	return pos
+}
+
+// smoothLevel runs force iterations with Barnes–Hut repulsion.
+func smoothLevel(g *graph.Graph, pos []geometry.Vec2, opt SeqOptions, iters int) {
+	n := g.NumVertices()
+	if n <= 1 {
+		return
+	}
+	mass := make([]float64, n)
+	for v := 0; v < n; v++ {
+		mass[v] = float64(g.VertexWeight(int32(v)))
+	}
+	ctl := NewStepController(opt.Force.K)
+	fp := opt.Force
+	forces := make([]geometry.Vec2, n)
+	for it := 0; it < iters; it++ {
+		tree := quadtree.Build(pos, mass)
+		energy := 0.0
+		for v := 0; v < n; v++ {
+			var f geometry.Vec2
+			p := pos[v]
+			tree.ForEachCluster(p, int32(v), opt.Theta, func(com geometry.Vec2, m float64, _ int32) {
+				f = f.Add(fp.Repulsive(p, com, m).Scale(mass[v]))
+			})
+			for k := g.XAdj[v]; k < g.XAdj[v+1]; k++ {
+				w := g.Adjncy[k]
+				f = f.Add(fp.Attractive(p, pos[w]).Scale(float64(g.ArcWeight(k))))
+			}
+			forces[v] = f
+			energy += f.Dot(f)
+		}
+		for v := 0; v < n; v++ {
+			norm := forces[v].Norm()
+			if norm < 1e-12 {
+				continue
+			}
+			pos[v] = pos[v].Add(forces[v].Scale(ctl.Step / norm))
+		}
+		ctl.Update(energy)
+		if ctl.Step < 1e-3*fp.K {
+			break
+		}
+	}
+}

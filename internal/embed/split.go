@@ -1,0 +1,66 @@
+package embed
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+// SplitCoords precomputes per-rank Distributed views of already-known
+// vertex coordinates over a quantile lattice for p ranks. It serves the
+// partition-only entry points (Figure 4, dynamic repartitioning):
+// coordinates are assumed to already live on their owners, so the split
+// is performed outside any timed region.
+func SplitCoords(g *graph.Graph, coords []geometry.Vec2, p int) []*Distributed {
+	n := g.NumVertices()
+	if len(coords) != n {
+		panic("embed: SplitCoords coordinate count mismatch")
+	}
+	grid := mpi.GridFor(p)
+	bounds := geometry.BoundingRect(coords).Expand(1e-9)
+	// Sample for quantile cuts: every k-th point, about 8192 of them.
+	stride := n/8192 + 1
+	sample := make([]geometry.Vec2, 0, n/stride+1)
+	for i := 0; i < n; i += stride {
+		sample = append(sample, coords[i])
+	}
+	lat := NewLattice(grid, sample, bounds)
+
+	owner := make([]int32, n)
+	ownedIDs := make([][]int32, p)
+	for v := 0; v < n; v++ {
+		r := int32(lat.RankOf(coords[v]))
+		owner[v] = r
+		ownedIDs[r] = append(ownedIDs[r], int32(v))
+	}
+	views := make([]*Distributed, p)
+	for r := 0; r < p; r++ {
+		d := &Distributed{
+			Lat:       lat,
+			OwnedIDs:  ownedIDs[r],
+			OwnedPos:  make([]geometry.Vec2, len(ownedIDs[r])),
+			ghostSlot: make(map[int32]int32),
+			localSlot: make(map[int32]int32, len(ownedIDs[r])),
+		}
+		for i, id := range d.OwnedIDs {
+			d.OwnedPos[i] = coords[id]
+			d.localSlot[id] = int32(i)
+		}
+		for _, id := range d.OwnedIDs {
+			for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
+				nb := g.Adjncy[k]
+				if owner[nb] == int32(r) {
+					continue
+				}
+				if _, ok := d.ghostSlot[nb]; ok {
+					continue
+				}
+				d.ghostSlot[nb] = int32(len(d.GhostIDs))
+				d.GhostIDs = append(d.GhostIDs, nb)
+				d.GhostPos = append(d.GhostPos, coords[nb])
+			}
+		}
+		views[r] = d
+	}
+	return views
+}

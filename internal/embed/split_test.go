@@ -1,0 +1,63 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestSplitCoordsPartition(t *testing.T) {
+	g := gen.Grid2D(30, 30)
+	for _, p := range []int{1, 5, 16} {
+		views := SplitCoords(g.G, g.Coords, p)
+		if len(views) != p {
+			t.Fatalf("p=%d: %d views", p, len(views))
+		}
+		seen := make(map[int32]bool)
+		for _, d := range views {
+			for i, id := range d.OwnedIDs {
+				if seen[id] {
+					t.Fatalf("p=%d: vertex %d owned twice", p, id)
+				}
+				seen[id] = true
+				if d.OwnedPos[i] != g.Coords[id] {
+					t.Fatalf("p=%d: vertex %d coordinate mangled", p, id)
+				}
+			}
+			// Every neighbour of an owned vertex must be resolvable.
+			for _, id := range d.OwnedIDs {
+				for _, nb := range g.G.Neighbors(id) {
+					if _, ok := d.PosOf(nb); !ok {
+						t.Fatalf("p=%d: neighbour %d of %d unresolvable", p, nb, id)
+					}
+				}
+			}
+		}
+		if len(seen) != g.G.NumVertices() {
+			t.Fatalf("p=%d: %d vertices owned, want %d", p, len(seen), g.G.NumVertices())
+		}
+	}
+}
+
+// TestSequentialLayoutQuality: neighbours end up much closer than
+// far-apart grid vertices.
+func TestSequentialLayoutQuality(t *testing.T) {
+	g := gen.Grid2D(24, 24)
+	pos := SequentialLayout(g.G, SeqOptions{Seed: 3})
+	var edgeSum float64
+	var edges int
+	for u := int32(0); u < int32(g.G.NumVertices()); u++ {
+		for _, v := range g.G.Neighbors(u) {
+			if u < v {
+				edgeSum += pos[u].Dist(pos[v])
+				edges++
+			}
+		}
+	}
+	meanEdge := edgeSum / float64(edges)
+	// Opposite grid corners should be far apart in the layout.
+	corner := pos[0].Dist(pos[len(pos)-1])
+	if corner < 8*meanEdge {
+		t.Fatalf("layout collapsed: corner distance %.2f vs mean edge %.2f", corner, meanEdge)
+	}
+}

@@ -1,0 +1,151 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/graph"
+)
+
+func randomPoints(n int, seed int64) []geometry.Vec2 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geometry.Vec2, n)
+	for i := range pts {
+		pts[i] = geometry.Vec2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+// TestDelaunayEmptyCircumcircle checks the defining property on every
+// triangle of a moderate instance: no other point lies strictly inside
+// a triangle's circumcircle.
+func TestDelaunayEmptyCircumcircle(t *testing.T) {
+	pts := randomPoints(300, 7)
+	d := newTriangulator(pts)
+	for _, i := range mortonOrder(pts) {
+		d.insert(i)
+	}
+	for ti := range d.tris {
+		tr := &d.tris[ti]
+		if tr.dead {
+			continue
+		}
+		skip := false
+		for _, v := range tr.verts {
+			if int(v) >= d.n {
+				skip = true // super-triangle fringe
+			}
+		}
+		if skip {
+			continue
+		}
+		a, b, c := pts[tr.verts[0]], pts[tr.verts[1]], pts[tr.verts[2]]
+		if orient2d(a, b, c) <= 0 {
+			t.Fatalf("triangle %d not CCW", ti)
+		}
+		for j, p := range pts {
+			if int32(j) == tr.verts[0] || int32(j) == tr.verts[1] || int32(j) == tr.verts[2] {
+				continue
+			}
+			if inCircleStrict(a, b, c, p) {
+				t.Fatalf("point %d inside circumcircle of triangle %d", j, ti)
+			}
+		}
+	}
+}
+
+// inCircleStrict uses a tolerance well above the legalisation epsilon
+// so the check is immune to boundary rounding.
+func inCircleStrict(a, b, c, d geometry.Vec2) bool {
+	ax, ay := a.X-d.X, a.Y-d.Y
+	bx, by := b.X-d.X, b.Y-d.Y
+	cx, cy := c.X-d.X, c.Y-d.Y
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	return det > 1e-9
+}
+
+// TestDelaunayStructure checks global structural facts on larger
+// instances: planar edge bound, connectivity, and Euler-consistent
+// size.
+func TestDelaunayStructure(t *testing.T) {
+	for _, n := range []int{10, 100, 2000, 20000} {
+		pts := randomPoints(n, int64(n))
+		edges := Delaunay(pts)
+		if len(edges) > 3*n-6 {
+			t.Fatalf("n=%d: %d edges exceeds planar bound %d", n, len(edges), 3*n-6)
+		}
+		// A triangulation of a point set in general position has at
+		// least 2n-3 edges (n>=3).
+		if n >= 3 && len(edges) < 2*n-3 {
+			t.Fatalf("n=%d: only %d edges, want >= %d", n, len(edges), 2*n-3)
+		}
+		b := graph.NewBuilder(n)
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1])
+		}
+		g := b.Build()
+		if _, comps := graph.Components(g); comps != 1 {
+			t.Fatalf("n=%d: triangulation has %d components", n, comps)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestDelaunayAdjacencyInvariant exercises the internal adjacency
+// structure: every live triangle's neighbour must point back at it.
+func TestDelaunayAdjacencyInvariant(t *testing.T) {
+	pts := randomPoints(1500, 99)
+	d := newTriangulator(pts)
+	for k, i := range mortonOrder(pts) {
+		d.insert(i)
+		if k%250 != 0 && k != len(pts)-1 {
+			continue
+		}
+		for ti := range d.tris {
+			tr := &d.tris[ti]
+			if tr.dead {
+				continue
+			}
+			for e := 0; e < 3; e++ {
+				nb := tr.adj[e]
+				if nb < 0 {
+					continue
+				}
+				if d.tris[nb].dead {
+					t.Fatalf("after %d inserts: triangle %d adjacent to dead %d", k+1, ti, nb)
+				}
+				found := false
+				for f := 0; f < 3; f++ {
+					if d.tris[nb].adj[f] == int32(ti) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("after %d inserts: adjacency %d->%d not reciprocated", k+1, ti, nb)
+				}
+			}
+		}
+	}
+}
+
+func TestMortonOrderIsPermutation(t *testing.T) {
+	pts := randomPoints(777, 3)
+	order := mortonOrder(pts)
+	seen := make([]bool, len(pts))
+	for _, i := range order {
+		if seen[i] {
+			t.Fatalf("index %d repeated", i)
+		}
+		seen[i] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d missing", i)
+		}
+	}
+}

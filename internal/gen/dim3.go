@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/geometry"
+	"repro/internal/graph"
+)
+
+// Generated3D bundles a graph with 3-D coordinates for the
+// three-dimensional geometric partitioners.
+type Generated3D struct {
+	Name   string
+	G      *graph.Graph
+	Coords []geometry.Vec3
+}
+
+// Grid3D builds the nx×ny×nz 7-point-stencil grid graph with unit
+// spacing coordinates — the canonical structured 3-D FEM mesh.
+func Grid3D(nx, ny, nz int) *Generated3D {
+	n := nx * ny * nz
+	b := graph.NewBuilder(n)
+	coords := make([]geometry.Vec3, n)
+	id := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				coords[id(x, y, z)] = geometry.Vec3{X: float64(x), Y: float64(y), Z: float64(z)}
+				if x+1 < nx {
+					b.AddEdge(id(x, y, z), id(x+1, y, z))
+				}
+				if y+1 < ny {
+					b.AddEdge(id(x, y, z), id(x, y+1, z))
+				}
+				if z+1 < nz {
+					b.AddEdge(id(x, y, z), id(x, y, z+1))
+				}
+			}
+		}
+	}
+	return &Generated3D{Name: "grid3d", G: b.Build(), Coords: coords}
+}
+
+// RandomGeometric3D builds a random geometric graph in the unit cube:
+// n uniform points, an edge between every pair within distance radius
+// (bucketed, so construction is O(n) for radius ~ (c/n)^(1/3)). The
+// largest component is returned.
+func RandomGeometric3D(n int, radius float64, seed int64) *Generated3D {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geometry.Vec3, n)
+	for i := range pts {
+		pts[i] = geometry.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+	}
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(p geometry.Vec3) (int, int, int) {
+		f := func(v float64) int {
+			c := int(v * float64(cells))
+			if c >= cells {
+				c = cells - 1
+			}
+			return c
+		}
+		return f(p.X), f(p.Y), f(p.Z)
+	}
+	bucket := make(map[int][]int32)
+	key := func(x, y, z int) int { return (x*cells+y)*cells + z }
+	for i, p := range pts {
+		x, y, z := cellOf(p)
+		bucket[key(x, y, z)] = append(bucket[key(x, y, z)], int32(i))
+	}
+	b := graph.NewBuilder(n)
+	r2 := radius * radius
+	for i, p := range pts {
+		cx, cy, cz := cellOf(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					x, y, z := cx+dx, cy+dy, cz+dz
+					if x < 0 || x >= cells || y < 0 || y >= cells || z < 0 || z >= cells {
+						continue
+					}
+					for _, j := range bucket[key(x, y, z)] {
+						if int32(i) < j {
+							d := p.Sub(pts[j])
+							if d.Dot(d) <= r2 {
+								b.AddEdge(int32(i), j)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	g := b.Build()
+	label, count := graph.Components(g)
+	if count > 1 {
+		sizes := make([]int, count)
+		for _, l := range label {
+			sizes[l]++
+		}
+		best := 0
+		for i, s := range sizes {
+			if s > sizes[best] {
+				best = i
+			}
+		}
+		var keep []int32
+		for v := int32(0); v < int32(n); v++ {
+			if label[v] == int32(best) {
+				keep = append(keep, v)
+			}
+		}
+		sub, back := graph.InducedSubgraph(g, keep)
+		newPts := make([]geometry.Vec3, len(back))
+		for i, v := range back {
+			newPts[i] = pts[v]
+		}
+		g, pts = sub, newPts
+	}
+	return &Generated3D{Name: "rgg3d", G: g, Coords: pts}
+}

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geometry"
+	"repro/internal/graph"
+)
+
+// buildMesh triangulates pts, drops edges longer than maxEdge and edges
+// rejected by the filter (when non-nil), and returns the largest
+// component with its coordinates.
+func buildMesh(name string, pts []geometry.Vec2, maxEdge float64, reject func(a, b geometry.Vec2) bool) *Generated {
+	b := graph.NewBuilder(len(pts))
+	for _, e := range Delaunay(pts) {
+		a, c := pts[e[0]], pts[e[1]]
+		if a.Dist(c) > maxEdge {
+			continue
+		}
+		if reject != nil && reject(a, c) {
+			continue
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	g, coords := LargestComponent(b.Build(), pts)
+	g, coords = MortonRelabel(g, coords)
+	return &Generated{Name: name, G: g, Coords: coords}
+}
+
+// Trace builds a triangulated meandering ribbon of roughly n vertices —
+// the long, thin, hole-free domain class of hugetrace-00000. The ribbon
+// follows a sine snake several periods long; the aspect ratio makes
+// good separators short and strongly direction-dependent, which is what
+// exercises a geometric partitioner on this class.
+func Trace(n int, seed int64) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	// Ribbon: length L in x with y = A·sin(2πfx), half-width w.
+	const periods = 4.0
+	const width = 0.08
+	length := 4.0
+	amp := 0.8
+	pts := make([]geometry.Vec2, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * length
+		c := amp * math.Sin(2*math.Pi*periods*x/length)
+		y := c + (rng.Float64()*2-1)*width
+		pts = append(pts, geometry.Vec2{X: x, Y: y})
+	}
+	// Edges must not cut across ribbon folds: the vertical distance
+	// between adjacent folds is ~amp, so a conservative length cap of
+	// several mean spacings suffices.
+	spacing := math.Sqrt(length * 2 * width / float64(n))
+	return buildMesh("trace", pts, 6*spacing, nil)
+}
+
+// Bubbles builds a triangulated disk with circular holes ("bubbles") of
+// roughly n vertices, the domain class of hugebubbles-00020. Holes are
+// placed on a jittered ring pattern; points inside holes are rejected
+// and triangulation edges crossing a hole are dropped.
+func Bubbles(n, holes int, seed int64) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	type hole struct {
+		c geometry.Vec2
+		r float64
+	}
+	hs := make([]hole, 0, holes)
+	for len(hs) < holes {
+		c := geometry.Vec2{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1}
+		if c.Norm() > 0.85 {
+			continue
+		}
+		r := 0.05 + 0.07*rng.Float64()
+		ok := true
+		for _, h := range hs {
+			if h.c.Dist(c) < h.r+r+0.05 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hs = append(hs, hole{c, r})
+		}
+	}
+	inHole := func(p geometry.Vec2) bool {
+		for _, h := range hs {
+			if p.Dist(h.c) < h.r {
+				return true
+			}
+		}
+		return false
+	}
+	pts := make([]geometry.Vec2, 0, n)
+	for len(pts) < n {
+		p := geometry.Vec2{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1}
+		if p.Norm() > 1 || inHole(p) {
+			continue
+		}
+		pts = append(pts, p)
+	}
+	spacing := math.Sqrt(math.Pi / float64(n)) // ~unit disk area / n
+	reject := func(a, b geometry.Vec2) bool {
+		return inHole(a.Add(b).Scale(0.5))
+	}
+	return buildMesh("bubbles", pts, 6*spacing, reject)
+}

@@ -1,0 +1,190 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSuiteGraphsWellFormed builds the whole suite at small scale and
+// checks structural invariants: connected, validated, sensible sizes.
+func TestSuiteGraphsWellFormed(t *testing.T) {
+	for _, e := range SuiteEntries() {
+		g := e.Build(0.04)
+		if g.Name != e.Name {
+			t.Fatalf("%s: name mismatch %q", e.Name, g.Name)
+		}
+		if err := g.G.Validate(); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if _, comps := graph.Components(g.G); comps != 1 {
+			t.Fatalf("%s: %d components", e.Name, comps)
+		}
+		if g.Coords != nil && len(g.Coords) != g.G.NumVertices() {
+			t.Fatalf("%s: coords length mismatch", e.Name)
+		}
+		if g.G.NumVertices() < 100 {
+			t.Fatalf("%s: only %d vertices at scale 0.04", e.Name, g.G.NumVertices())
+		}
+	}
+}
+
+// TestSuiteDeterministic: two builds must be identical.
+func TestSuiteDeterministic(t *testing.T) {
+	for _, e := range SuiteEntries()[:4] {
+		a := e.Build(0.03)
+		b := e.Build(0.03)
+		if a.G.NumVertices() != b.G.NumVertices() || a.G.NumEdges() != b.G.NumEdges() {
+			t.Fatalf("%s: nondeterministic sizes", e.Name)
+		}
+		for i := range a.G.Adjncy {
+			if a.G.Adjncy[i] != b.G.Adjncy[i] {
+				t.Fatalf("%s: adjacency differs at %d", e.Name, i)
+			}
+		}
+	}
+}
+
+// TestSuiteScaling: scale must control size roughly linearly.
+func TestSuiteScaling(t *testing.T) {
+	e := SuiteEntries()[2] // delaunay_n20
+	small := e.Build(0.05).G.NumVertices()
+	large := e.Build(0.2).G.NumVertices()
+	ratio := float64(large) / float64(small)
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("scaling ratio %v, want ~4", ratio)
+	}
+}
+
+func TestKKTPowerHeavyTail(t *testing.T) {
+	g := KKTPower(6000, 44).G
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.Degree(int32(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	if degs[0] < 30 {
+		t.Fatalf("max degree %d: expected hub structure", degs[0])
+	}
+	// Constraint vertices (two-thirds of the graph) have small degree.
+	median := degs[len(degs)/2]
+	if median > 6 {
+		t.Fatalf("median degree %d: expected sparse tail", median)
+	}
+}
+
+func TestBarabasiAlbertDegreeSum(t *testing.T) {
+	g := BarabasiAlbert(500, 2, 1)
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// m edges per new vertex (some merged): edges close to 2n.
+	if g.NumEdges() < 900 || g.NumEdges() > 1000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestTraceIsElongated(t *testing.T) {
+	g := Trace(4000, 55)
+	if _, comps := graph.Components(g.G); comps != 1 {
+		t.Fatalf("%d components", comps)
+	}
+	// The ribbon should be much wider than tall overall but locally
+	// thin: check aspect of the bounding box.
+	minX, maxX := g.Coords[0].X, g.Coords[0].X
+	minY, maxY := g.Coords[0].Y, g.Coords[0].Y
+	for _, p := range g.Coords {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if (maxX - minX) < 2*(maxY-minY)/2 {
+		t.Fatalf("trace bounding box %v x %v not elongated", maxX-minX, maxY-minY)
+	}
+}
+
+func TestBubblesHasHoles(t *testing.T) {
+	g := Bubbles(6000, 8, 66)
+	if _, comps := graph.Components(g.G); comps != 1 {
+		t.Fatalf("%d components", comps)
+	}
+	// Planar-ish mesh: average degree < 7.
+	if avg := float64(2*g.G.NumEdges()) / float64(g.G.NumVertices()); avg > 7 {
+		t.Fatalf("avg degree %v", avg)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 8, 3)
+	if g.G.NumVertices() < 256 {
+		t.Fatalf("rmat too small: %d", g.G.NumVertices())
+	}
+	if err := g.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMortonRelabelPreservesStructure: same degree multiset, same
+// number of edges, improved locality.
+func TestMortonRelabelPreservesStructure(t *testing.T) {
+	orig := func() *Generated {
+		// Rebuild Delaunay WITHOUT relabel by calling the pieces.
+		return DelaunayRandom(2000, 9)
+	}()
+	g := orig.G
+	// Locality metric: mean |u-v| over edges should be far below n/3
+	// (random labels would give ~n/3).
+	var sum float64
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				sum += float64(v - u)
+			}
+		}
+	}
+	mean := sum / float64(g.NumEdges())
+	if mean > float64(g.NumVertices())/6 {
+		t.Fatalf("mean id distance %v suggests relabelling is not applied", mean)
+	}
+	// Degree histogram must match a fresh un-relabelled triangulation
+	// (structure preserved by permutation).
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := graph.NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4) // smaller component
+	g, _ := LargestComponent(b.Build(), nil)
+	if g.NumVertices() != 3 {
+		t.Fatalf("kept %d vertices, want 3", g.NumVertices())
+	}
+}
+
+func TestRandomGeometricConnectedAtSensibleRadius(t *testing.T) {
+	g := RandomGeometric(2000, 0.05, 7)
+	if _, comps := graph.Components(g.G); comps != 1 {
+		t.Fatalf("rgg disconnected: %d comps", comps)
+	}
+}
+
+func TestCircuitHasShortsAndWires(t *testing.T) {
+	g := Circuit(40, 40, 33)
+	grid := Grid2D(40, 40)
+	if g.G.NumEdges() <= grid.G.NumEdges() {
+		t.Fatal("circuit has no extra edges over the grid")
+	}
+}

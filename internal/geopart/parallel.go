@@ -1,0 +1,321 @@
+package geopart
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/embed"
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// ParallelConfig configures the parallel geometric partitioner
+// SP-PG7-NL: the Config candidate mix (line separators are ignored —
+// the parallel formulation computes sphere separators only, as the
+// paper's does) plus the strip refinement options.
+type ParallelConfig struct {
+	Config
+	Refine      bool    // apply Fiduccia–Mattheyses on a coordinate strip
+	StripFactor float64 // strip size target, × separator edge count; default 8
+	FMPasses    int     // default 4
+}
+
+// DefaultParallelConfig is SP-PG7-NL with strip refinement, the
+// configuration ScalaPart uses.
+func DefaultParallelConfig() ParallelConfig {
+	cfg := G7NL()
+	return ParallelConfig{Config: cfg, Refine: true}
+}
+
+func (c ParallelConfig) withDefaults() ParallelConfig {
+	c.Config = c.Config.withDefaults()
+	if c.StripFactor == 0 {
+		c.StripFactor = 8
+	}
+	if c.FMPasses == 0 {
+		c.FMPasses = 4
+	}
+	return c
+}
+
+// ParallelResult is one rank's share of a parallel bisection plus the
+// global statistics every rank ends up knowing.
+type ParallelResult struct {
+	OwnedIDs  []int32
+	Side      []int32 // per owned vertex
+	Cut       int64   // global cut weight after refinement
+	CutBefore int64   // global cut weight of the raw geometric separator
+	SideW     [2]int64
+	Imbalance float64
+	StripSize int // vertices in the refinement strip (0 when Refine off)
+	Tries     int
+}
+
+// sampleEntry carries a sampled coordinate with its vertex id for
+// tie-broken medians.
+type sampleEntry struct {
+	ID int32
+	P  geometry.Vec2
+}
+
+// valueAbove reports whether (val, id) exceeds the threshold pair.
+func valueAbove(val float64, id int32, tVal float64, tID int32) bool {
+	if val != tVal {
+		return val > tVal
+	}
+	return id > tID
+}
+
+// ParallelPartition bisects g in parallel from a distributed embedding:
+// a gathered coordinate sample yields centerpoints (computed
+// redundantly on every rank, as in the paper), random great circles
+// become candidates whose cut and balance contributions are reduced
+// across ranks, and the best candidate is refined by FM on a
+// coordinate strip around the separating circle.
+func ParallelPartition(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg ParallelConfig) *ParallelResult {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	totalW := g.TotalVertexWeight()
+
+	// Gather a coordinate sample with ids (identical on every rank).
+	sample := gatherSample(c, d, 4096)
+
+	// Normalisation constants from the sample.
+	var sum geometry.Vec2
+	for _, s := range sample {
+		sum = sum.Add(s.P)
+	}
+	count := len(sample)
+	centroid := sum.Scale(1 / math.Max(float64(count), 1))
+	rs := make([]float64, count)
+	for i, s := range sample {
+		rs[i] = s.P.Sub(centroid).Norm()
+	}
+	scale := 1.0
+	if count > 0 {
+		if med := stats.Quantile(rs, 0.5); med > 1e-12 {
+			scale = 1 / med
+		}
+	}
+	norm := func(p geometry.Vec2) geometry.Vec2 { return p.Sub(centroid).Scale(scale) }
+
+	// Candidate construction (redundant, deterministic on all ranks).
+	type cand struct {
+		mob   func(geometry.Vec3) geometry.Vec3
+		u     geometry.Vec3
+		tVal  float64
+		tID   int32
+		mobID int
+	}
+	sample3 := make([]geometry.Vec3, count)
+	for i, s := range sample {
+		sample3[i] = geometry.StereoUp(norm(s.P))
+	}
+	var cands []cand
+	var mobs []func(geometry.Vec3) geometry.Vec3
+	perCP := cfg.GreatCircles / cfg.Centerpoints
+	extra := cfg.GreatCircles % cfg.Centerpoints
+	for cp := 0; cp < cfg.Centerpoints; cp++ {
+		center := geometry.Vec3{}
+		if count > 0 {
+			center = geometry.Centerpoint(sample3, rng)
+		}
+		mob := geometry.MoebiusToOrigin(center)
+		mobs = append(mobs, mob)
+		mappedSample := make([]geometry.Vec3, count)
+		for i, q := range sample3 {
+			mappedSample[i] = mob(q)
+		}
+		circles := perCP
+		if cp < extra {
+			circles++
+		}
+		vals := make([]float64, count)
+		for t := 0; t < circles; t++ {
+			u := geometry.RandomUnitVec3(rng)
+			// Median over the sample = balanced threshold. Mapped
+			// sphere values are continuous, so ties are measure-zero
+			// and the id tie-break (needed for symmetric integer
+			// coordinates in RCB) defaults to 0.
+			for i, q := range mappedSample {
+				vals[i] = q.Dot(u)
+			}
+			tVal, tID := 0.0, int32(0)
+			if count > 0 {
+				tVal = stats.QuickSelect(vals, count/2)
+			}
+			cands = append(cands, cand{mob: mob, u: u, tVal: tVal, tID: tID, mobID: cp})
+		}
+	}
+
+	// Pre-map owned and ghost points once per centerpoint.
+	nOwn, nGhost := len(d.OwnedIDs), len(d.GhostIDs)
+	mappedOwn := make([][]geometry.Vec3, len(mobs))
+	mappedGhost := make([][]geometry.Vec3, len(mobs))
+	for m, mob := range mobs {
+		mo := make([]geometry.Vec3, nOwn)
+		for i, p := range d.OwnedPos {
+			mo[i] = mob(geometry.StereoUp(norm(p)))
+		}
+		mg := make([]geometry.Vec3, nGhost)
+		for i, p := range d.GhostPos {
+			mg[i] = mob(geometry.StereoUp(norm(p)))
+		}
+		mappedOwn[m], mappedGhost[m] = mo, mg
+		c.Charge(float64(nOwn+nGhost) * 6)
+	}
+
+	if len(cands) == 0 {
+		panic("geopart: ParallelPartition needs at least one great-circle candidate")
+	}
+	// Evaluate every candidate locally: cut and side weights.
+	ghostSlotOf := make(map[int32]int32, nGhost)
+	for i, id := range d.GhostIDs {
+		ghostSlotOf[id] = int32(i)
+	}
+	ncand := len(cands)
+	contrib := make([]int64, 3*ncand)
+	sideBuf := make([][]bool, ncand) // per candidate: side of each owned vertex
+	for k, cd := range cands {
+		sides := make([]bool, nOwn)
+		cut := int64(0)
+		var w0, w1 int64
+		for i, id := range d.OwnedIDs {
+			v := mappedOwn[cd.mobID][i].Dot(cd.u)
+			s := valueAbove(v, id, cd.tVal, cd.tID)
+			sides[i] = s
+			if s {
+				w1 += int64(g.VertexWeight(id))
+			} else {
+				w0 += int64(g.VertexWeight(id))
+			}
+		}
+		for i, id := range d.OwnedIDs {
+			for e := g.XAdj[id]; e < g.XAdj[id+1]; e++ {
+				nb := g.Adjncy[e]
+				if nb < id {
+					continue // counted by the owner of the smaller id
+				}
+				var nbSide bool
+				if slot, ok := ghostSlotOf[nb]; ok {
+					nbSide = valueAbove(mappedGhost[cd.mobID][slot].Dot(cd.u), nb, cd.tVal, cd.tID)
+				} else if li, ok2 := ownedIndex(d, nb); ok2 {
+					nbSide = sides[li]
+				} else {
+					continue // neither owned nor ghost: not adjacent here
+				}
+				if nbSide != sides[i] {
+					cut += int64(g.ArcWeight(e))
+				}
+			}
+		}
+		contrib[3*k] = cut
+		contrib[3*k+1] = w0
+		contrib[3*k+2] = w1
+		sideBuf[k] = sides
+		c.Charge(float64(nOwn) * 4)
+	}
+	global := mpi.AllReduceSlice(c, contrib, 8, mpi.SumInt64)
+
+	// Select the best balanced candidate (identical on all ranks).
+	bestK := -1
+	bestCut := int64(math.MaxInt64)
+	for k := 0; k < ncand; k++ {
+		cut, w0, w1 := global[3*k], global[3*k+1], global[3*k+2]
+		imb := imbalance2(w0, w1)
+		if imb <= cfg.BalanceTol && cut < bestCut {
+			bestCut = cut
+			bestK = k
+		}
+	}
+	if bestK < 0 {
+		// No candidate within tolerance: take the most balanced one.
+		bestImb := math.Inf(1)
+		for k := 0; k < ncand; k++ {
+			if imb := imbalance2(global[3*k+1], global[3*k+2]); imb < bestImb {
+				bestImb = imb
+				bestK = k
+			}
+		}
+		bestCut = global[3*bestK]
+	}
+
+	res := &ParallelResult{
+		OwnedIDs:  d.OwnedIDs,
+		Side:      make([]int32, nOwn),
+		Cut:       bestCut,
+		CutBefore: bestCut,
+		SideW:     [2]int64{global[3*bestK+1], global[3*bestK+2]},
+		Tries:     ncand,
+	}
+	for i, s := range sideBuf[bestK] {
+		if s {
+			res.Side[i] = 1
+		}
+	}
+	res.Imbalance = imbalance2(res.SideW[0], res.SideW[1])
+
+	if cfg.Refine && g.NumVertices() > 4 {
+		best := cands[bestK]
+		valOwned := make([]float64, nOwn)
+		for i := range valOwned {
+			valOwned[i] = mappedOwn[best.mobID][i].Dot(best.u)
+		}
+		valGhost := make([]float64, nGhost)
+		for i := range valGhost {
+			valGhost[i] = mappedGhost[best.mobID][i].Dot(best.u)
+		}
+		sampleAbs := make([]float64, count)
+		for i, q := range sample3 {
+			sampleAbs[i] = math.Abs(mobs[best.mobID](q).Dot(best.u) - best.tVal)
+		}
+		refineStrip(c, g, d, cfg, valOwned, valGhost, sampleAbs, best.tVal, totalW, res)
+	}
+	return res
+}
+
+// ownedIndex binary-searches the local index of an owned vertex; owned
+// ids are sorted by construction.
+func ownedIndex(d *embed.Distributed, id int32) (int32, bool) {
+	lo, hi := 0, len(d.OwnedIDs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.OwnedIDs[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.OwnedIDs) && d.OwnedIDs[lo] == id {
+		return int32(lo), true
+	}
+	return 0, false
+}
+
+func imbalance2(w0, w1 int64) float64 {
+	t := w0 + w1
+	if t == 0 {
+		return 0
+	}
+	mx := w0
+	if w1 > mx {
+		mx = w1
+	}
+	return 2*float64(mx)/float64(t) - 1
+}
+
+// gatherSample collects an id-tagged coordinate sample of roughly
+// `target` global entries, identical on every rank.
+func gatherSample(c *mpi.Comm, d *embed.Distributed, target int) []sampleEntry {
+	per := target/c.Size() + 1
+	var mine []sampleEntry
+	if len(d.OwnedIDs) > 0 {
+		stride := len(d.OwnedIDs)/per + 1
+		for i := 0; i < len(d.OwnedIDs); i += stride {
+			mine = append(mine, sampleEntry{ID: d.OwnedIDs[i], P: d.OwnedPos[i]})
+		}
+	}
+	return mpi.Concat(mpi.AllGatherV(c, mine, 20))
+}

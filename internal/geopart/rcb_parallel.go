@@ -1,0 +1,131 @@
+package geopart
+
+import (
+	"sort"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+// ParallelRCB computes a recursive-coordinate-bisection single cut in
+// parallel from a distributed embedding (or distributed natural
+// coordinates): the median plane orthogonal to the wider global extent,
+// with the median estimated from a gathered sample as Zoltan does. Its
+// communication is three short collectives, which is why RCB is the
+// scalability yardstick of the paper.
+func ParallelRCB(c *mpi.Comm, g *graph.Graph, d *embed.Distributed) *ParallelResult {
+	sample := gatherSample(c, d, 4096)
+	// Global extent (from the sample; the cut only needs the wider
+	// axis, not exact bounds).
+	var lo, hi [2]float64
+	for i, s := range sample {
+		x, y := s.P.X, s.P.Y
+		if i == 0 {
+			lo, hi = [2]float64{x, y}, [2]float64{x, y}
+			continue
+		}
+		if x < lo[0] {
+			lo[0] = x
+		}
+		if x > hi[0] {
+			hi[0] = x
+		}
+		if y < lo[1] {
+			lo[1] = y
+		}
+		if y > hi[1] {
+			hi[1] = y
+		}
+	}
+	useX := hi[0]-lo[0] >= hi[1]-lo[1]
+	axis := func(i int) float64 {
+		if useX {
+			return d.OwnedPos[i].X
+		}
+		return d.OwnedPos[i].Y
+	}
+	ghostAxis := func(i int32) float64 {
+		if useX {
+			return d.GhostPos[i].X
+		}
+		return d.GhostPos[i].Y
+	}
+	// Sample median with id tie-break.
+	type vi struct {
+		v  float64
+		id int32
+	}
+	vis := make([]vi, len(sample))
+	for i, s := range sample {
+		v := s.P.Y
+		if useX {
+			v = s.P.X
+		}
+		vis[i] = vi{v, s.ID}
+	}
+	sort.Slice(vis, func(a, b int) bool {
+		if vis[a].v != vis[b].v {
+			return vis[a].v < vis[b].v
+		}
+		return vis[a].id < vis[b].id
+	})
+	tVal, tID := 0.0, int32(0)
+	if len(vis) > 0 {
+		m := vis[len(vis)/2]
+		tVal, tID = m.v, m.id
+	}
+
+	nOwn := len(d.OwnedIDs)
+	sides := make([]bool, nOwn)
+	var cut, w0, w1 int64
+	ghostSlotOf := make(map[int32]int32, len(d.GhostIDs))
+	for i, id := range d.GhostIDs {
+		ghostSlotOf[id] = int32(i)
+	}
+	for i, id := range d.OwnedIDs {
+		s := valueAbove(axis(i), id, tVal, tID)
+		sides[i] = s
+		if s {
+			w1 += int64(g.VertexWeight(id))
+		} else {
+			w0 += int64(g.VertexWeight(id))
+		}
+	}
+	for i, id := range d.OwnedIDs {
+		for e := g.XAdj[id]; e < g.XAdj[id+1]; e++ {
+			nb := g.Adjncy[e]
+			if nb < id {
+				continue
+			}
+			var nbSide bool
+			if slot, ok := ghostSlotOf[nb]; ok {
+				nbSide = valueAbove(ghostAxis(slot), nb, tVal, tID)
+			} else if li, ok2 := ownedIndex(d, nb); ok2 {
+				nbSide = sides[li]
+			} else {
+				continue
+			}
+			if nbSide != sides[i] {
+				cut += int64(g.ArcWeight(e))
+			}
+		}
+	}
+	c.Charge(float64(nOwn) * 3)
+	global := mpi.AllReduceSlice(c, []int64{cut, w0, w1}, 8, mpi.SumInt64)
+	res := &ParallelResult{
+		OwnedIDs:  d.OwnedIDs,
+		Side:      make([]int32, nOwn),
+		Cut:       global[0],
+		CutBefore: global[0],
+		SideW:     [2]int64{global[1], global[2]},
+		Tries:     1,
+	}
+	for i, s := range sides {
+		if s {
+			res.Side[i] = 1
+		}
+	}
+	res.Imbalance = imbalance2(res.SideW[0], res.SideW[1])
+	return res
+}

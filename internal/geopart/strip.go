@@ -1,0 +1,138 @@
+package geopart
+
+import (
+	"sort"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/refine"
+	"repro/internal/stats"
+)
+
+// stripRecord is one gathered vertex around the separator: its id,
+// current side, and whether it is free to move (inside the strip) or a
+// locked ring vertex.
+type stripRecord struct {
+	ID    int32
+	Side  int8
+	Strip bool
+}
+
+// refineStrip applies Fiduccia–Mattheyses to the coordinate strip
+// around the chosen separating circle (Figure 2 of the paper): vertices
+// whose separator value lies within eps of the threshold are free, the
+// ring of their outside neighbours is locked, and eps is set from the
+// sample so the strip holds roughly StripFactor × |separator| vertices.
+// Strip records are gathered to every rank and the (small) FM problem
+// is solved redundantly, so no result broadcast is needed — the same
+// trick the paper uses for the great-circle selection itself.
+func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg ParallelConfig, valOwned, valGhost, sampleAbs []float64, tVal float64, totalW int64, res *ParallelResult) {
+	n := g.NumVertices()
+	target := int(cfg.StripFactor * float64(res.CutBefore))
+	if target < 64 {
+		target = 64
+	}
+	if target > n/4 {
+		target = n / 4
+	}
+	if target < 1 || len(sampleAbs) == 0 {
+		return
+	}
+	frac := float64(target) / float64(n)
+	if frac > 1 {
+		frac = 1
+	}
+	eps := stats.Quantile(sampleAbs, frac)
+	if eps <= 0 {
+		return
+	}
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	inStrip := func(val float64) bool { return abs(val-tVal) < eps }
+	ghostSlot := make(map[int32]int32, len(d.GhostIDs))
+	for i, id := range d.GhostIDs {
+		ghostSlot[id] = int32(i)
+	}
+	valOf := func(id int32) (float64, bool) {
+		if li, ok := ownedIndex(d, id); ok {
+			return valOwned[li], true
+		}
+		if gi, ok := ghostSlot[id]; ok {
+			return valGhost[gi], true
+		}
+		return 0, false
+	}
+	// Collect local strip and ring records.
+	var recs []stripRecord
+	for i, id := range d.OwnedIDs {
+		if inStrip(valOwned[i]) {
+			recs = append(recs, stripRecord{ID: id, Side: int8(res.Side[i]), Strip: true})
+			continue
+		}
+		for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
+			if v, ok := valOf(g.Adjncy[k]); ok && inStrip(v) {
+				recs = append(recs, stripRecord{ID: id, Side: int8(res.Side[i])})
+				break
+			}
+		}
+	}
+	all := mpi.Concat(mpi.AllGatherV(c, recs, 6))
+	// Rank 0 solves the (small) strip FM problem and broadcasts the
+	// flipped vertices plus the bookkeeping updates.
+	type outcome struct {
+		Flips     []int32
+		Gain      int64
+		SideW     [2]int64
+		StripSize int
+	}
+	var out outcome
+	if c.Rank() == 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+		sideOfMap := make(map[int32]int8, len(all))
+		var free []int32
+		for _, rec := range all {
+			sideOfMap[rec.ID] = rec.Side
+			if rec.Strip {
+				free = append(free, rec.ID)
+			}
+		}
+		out.SideW = res.SideW
+		out.StripSize = len(free)
+		if len(free) > 0 {
+			prob, ids := refine.BuildSubproblem(g, free, func(id int32) int8 {
+				s, ok := sideOfMap[id]
+				if !ok {
+					panic("geopart: strip neighbour missing from gathered ring")
+				}
+				return s
+			}, res.SideW, totalW, cfg.BalanceTol, cfg.FMPasses)
+			before := append([]int8(nil), prob.Side...)
+			out.Gain = prob.Run()
+			c.Charge(float64(len(free)) * 20)
+			for i, id := range ids {
+				if prob.Side[i] != before[i] {
+					out.Flips = append(out.Flips, id)
+				}
+			}
+			out.SideW = prob.SideW
+		}
+	}
+	// Modeled payload from the gathered record count, identical on all
+	// ranks, so the broadcast cost is symmetric.
+	got := c.Bcast(0, out, 32+len(all))
+	out = got.(outcome)
+	for _, id := range out.Flips {
+		if li, ok := ownedIndex(d, id); ok {
+			res.Side[li] = 1 - res.Side[li]
+		}
+	}
+	res.Cut -= out.Gain
+	res.SideW = out.SideW
+	res.Imbalance = imbalance2(res.SideW[0], res.SideW[1])
+	res.StripSize = out.StripSize
+}

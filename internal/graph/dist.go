@@ -1,0 +1,68 @@
+package graph
+
+// BlockRange returns the contiguous vertex range [begin, end) owned by
+// rank r when n vertices are distributed over p ranks in near-equal
+// blocks, matching the paper's "read in by P processors in
+// approximately equal sized chunks".
+func BlockRange(n, p, r int) (begin, end int) {
+	if p <= 0 || r < 0 || r >= p {
+		panic("graph: BlockRange: invalid rank/size")
+	}
+	base := n / p
+	extra := n % p
+	if r < extra {
+		begin = r * (base + 1)
+		end = begin + base + 1
+	} else {
+		begin = extra*(base+1) + (r-extra)*base
+		end = begin + base
+	}
+	return begin, end
+}
+
+// BlockOwner returns the rank owning vertex v under BlockRange
+// distribution of n vertices over p ranks.
+func BlockOwner(n, p int, v int32) int {
+	base := n / p
+	extra := n % p
+	cut := extra * (base + 1)
+	if int(v) < cut {
+		return int(v) / (base + 1)
+	}
+	if base == 0 {
+		return p - 1
+	}
+	return extra + (int(v)-cut)/base
+}
+
+// BoundaryCounts returns, for each rank under block distribution, the
+// number of its boundary vertices (owned vertices with at least one
+// neighbour owned elsewhere) and its ghost vertices (distinct non-owned
+// neighbours). These counts drive the communication-cost accounting of
+// the simulated runtime.
+func BoundaryCounts(g *Graph, p int) (boundary, ghosts []int) {
+	n := g.NumVertices()
+	boundary = make([]int, p)
+	ghosts = make([]int, p)
+	ghostSeen := make(map[int64]struct{})
+	for r := 0; r < p; r++ {
+		begin, end := BlockRange(n, p, r)
+		for v := begin; v < end; v++ {
+			isBoundary := false
+			for _, w := range g.Neighbors(int32(v)) {
+				if int(w) < begin || int(w) >= end {
+					isBoundary = true
+					key := int64(r)<<32 | int64(w)
+					if _, ok := ghostSeen[key]; !ok {
+						ghostSeen[key] = struct{}{}
+						ghosts[r]++
+					}
+				}
+			}
+			if isBoundary {
+				boundary[r]++
+			}
+		}
+	}
+	return boundary, ghosts
+}

@@ -1,0 +1,154 @@
+// Package graph provides the sparse-graph substrate shared by every
+// partitioner in this repository: an immutable CSR (compressed sparse
+// row) representation of undirected graphs with optional vertex and
+// edge weights, a deduplicating builder, partition-quality metrics,
+// connectivity, subgraph extraction, METIS and MatrixMarket I/O, and
+// block-distribution helpers for the simulated message-passing runtime.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Graph is an undirected graph in CSR form. Adjacency lists store each
+// undirected edge {u,v} twice: once under u and once under v. The
+// structure is immutable after construction; all partitioners treat a
+// *Graph as shared read-only state, which is what makes it safe to hand
+// the same topology to every simulated rank.
+//
+// VWgt and EWgt may be nil, meaning unit weights. When present, EWgt is
+// aligned with Adjncy (the weight of the k-th directed arc), and the
+// two copies of an undirected edge always carry equal weights.
+type Graph struct {
+	XAdj   []int32 // offsets into Adjncy, length NumVertices()+1
+	Adjncy []int32 // concatenated adjacency lists, length 2*NumEdges()
+	VWgt   []int32 // vertex weights, nil for unit
+	EWgt   []int32 // arc weights aligned with Adjncy, nil for unit
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.XAdj) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.Adjncy) / 2 }
+
+// Degree returns the number of neighbours of vertex v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.XAdj[v+1] - g.XAdj[v])
+}
+
+// Neighbors returns the adjacency list of v as a shared sub-slice; the
+// caller must not modify it.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.Adjncy[g.XAdj[v]:g.XAdj[v+1]]
+}
+
+// VertexWeight returns the weight of v (1 if unweighted).
+func (g *Graph) VertexWeight(v int32) int32 {
+	if g.VWgt == nil {
+		return 1
+	}
+	return g.VWgt[v]
+}
+
+// ArcWeight returns the weight of the arc at Adjncy index k (1 if
+// unweighted).
+func (g *Graph) ArcWeight(k int32) int32 {
+	if g.EWgt == nil {
+		return 1
+	}
+	return g.EWgt[k]
+}
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() int64 {
+	if g.VWgt == nil {
+		return int64(g.NumVertices())
+	}
+	var t int64
+	for _, w := range g.VWgt {
+		t += int64(w)
+	}
+	return t
+}
+
+// MaxDegree returns the largest vertex degree, or 0 for the empty
+// graph.
+func (g *Graph) MaxDegree() int {
+	mx := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if d := g.Degree(v); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Validate checks structural invariants: monotone XAdj, in-range
+// neighbour ids, no self-loops, and symmetric adjacency with matching
+// arc weights. It is O(M log M) and intended for tests and after I/O.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if n < 0 {
+		return errors.New("graph: XAdj must have length >= 1")
+	}
+	if g.XAdj[0] != 0 {
+		return errors.New("graph: XAdj[0] must be 0")
+	}
+	for v := 0; v < n; v++ {
+		if g.XAdj[v+1] < g.XAdj[v] {
+			return fmt.Errorf("graph: XAdj not monotone at vertex %d", v)
+		}
+	}
+	if int(g.XAdj[n]) != len(g.Adjncy) {
+		return fmt.Errorf("graph: XAdj[n]=%d but len(Adjncy)=%d", g.XAdj[n], len(g.Adjncy))
+	}
+	if g.VWgt != nil && len(g.VWgt) != n {
+		return fmt.Errorf("graph: len(VWgt)=%d want %d", len(g.VWgt), n)
+	}
+	if g.EWgt != nil && len(g.EWgt) != len(g.Adjncy) {
+		return fmt.Errorf("graph: len(EWgt)=%d want %d", len(g.EWgt), len(g.Adjncy))
+	}
+	// Symmetry check via a weight map of directed arcs.
+	type arc struct{ u, v int32 }
+	seen := make(map[arc]int64, len(g.Adjncy))
+	for u := int32(0); u < int32(n); u++ {
+		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+			v := g.Adjncy[k]
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("graph: neighbour %d of vertex %d out of range", v, u)
+			}
+			if v == u {
+				return fmt.Errorf("graph: self-loop at vertex %d", u)
+			}
+			seen[arc{u, v}] += int64(g.ArcWeight(k))
+		}
+	}
+	for a, w := range seen {
+		if seen[arc{a.v, a.u}] != w {
+			return fmt.Errorf("graph: asymmetric edge {%d,%d}", a.u, a.v)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		XAdj:   append([]int32(nil), g.XAdj...),
+		Adjncy: append([]int32(nil), g.Adjncy...),
+	}
+	if g.VWgt != nil {
+		c.VWgt = append([]int32(nil), g.VWgt...)
+	}
+	if g.EWgt != nil {
+		c.EWgt = append([]int32(nil), g.EWgt...)
+	}
+	return c
+}
+
+// String summarises the graph for logs.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.NumVertices(), g.NumEdges())
+}

@@ -1,0 +1,322 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMETIS writes g in the METIS graph-file format: a header line
+// "n m [fmt]" followed by one line per vertex listing its 1-based
+// neighbours (and arc weights when the graph is edge-weighted).
+func WriteMETIS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	hasVW := g.VWgt != nil
+	hasEW := g.EWgt != nil
+	format := ""
+	switch {
+	case hasVW && hasEW:
+		format = " 11"
+	case hasVW:
+		format = " 10"
+	case hasEW:
+		format = " 1"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d%s\n", n, g.NumEdges(), format); err != nil {
+		return err
+	}
+	for v := int32(0); v < int32(n); v++ {
+		first := true
+		if hasVW {
+			fmt.Fprintf(bw, "%d", g.VWgt[v])
+			first = false
+		}
+		for k := g.XAdj[v]; k < g.XAdj[v+1]; k++ {
+			if !first {
+				bw.WriteByte(' ')
+			}
+			first = false
+			fmt.Fprintf(bw, "%d", g.Adjncy[k]+1)
+			if hasEW {
+				fmt.Fprintf(bw, " %d", g.EWgt[k])
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a graph in METIS format. Comment lines starting
+// with '%' are skipped. Supported fmt codes: "", "1" (edge weights),
+// "10" (vertex weights), "11" (both). Multi-constraint vertex weights
+// are not supported.
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: METIS header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("graph: METIS header %q: want at least n and m", line)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: METIS header n: %w", err)
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: METIS header m: %w", err)
+	}
+	hasVW, hasEW := false, false
+	if len(fields) >= 3 {
+		switch fields[2] {
+		case "0", "00", "000":
+		case "1", "01", "001":
+			hasEW = true
+		case "10", "010":
+			hasVW = true
+		case "11", "011":
+			hasVW, hasEW = true, true
+		default:
+			return nil, fmt.Errorf("graph: METIS fmt code %q unsupported", fields[2])
+		}
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: METIS vertex %d: %w", v+1, err)
+		}
+		toks := strings.Fields(line)
+		i := 0
+		if hasVW {
+			if len(toks) == 0 {
+				return nil, fmt.Errorf("graph: METIS vertex %d: missing weight", v+1)
+			}
+			w, err := strconv.Atoi(toks[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: METIS vertex %d weight: %w", v+1, err)
+			}
+			b.SetVertexWeight(int32(v), int32(w))
+			i = 1
+		}
+		for i < len(toks) {
+			u, err := strconv.Atoi(toks[i])
+			if err != nil {
+				return nil, fmt.Errorf("graph: METIS vertex %d neighbour: %w", v+1, err)
+			}
+			i++
+			w := 1
+			if hasEW {
+				if i >= len(toks) {
+					return nil, fmt.Errorf("graph: METIS vertex %d: missing edge weight", v+1)
+				}
+				w, err = strconv.Atoi(toks[i])
+				if err != nil {
+					return nil, fmt.Errorf("graph: METIS vertex %d edge weight: %w", v+1, err)
+				}
+				i++
+			}
+			if u < 1 || u > n {
+				return nil, fmt.Errorf("graph: METIS vertex %d: neighbour %d out of range", v+1, u)
+			}
+			// Each undirected edge appears twice in the file; add it
+			// once, from its lower endpoint.
+			if int32(u-1) > int32(v) {
+				b.AddWeightedEdge(int32(v), int32(u-1), int32(w))
+			}
+		}
+	}
+	g := b.Build()
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: METIS edge count %d does not match header %d", g.NumEdges(), m)
+	}
+	return g, nil
+}
+
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// WriteMatrixMarket writes the adjacency structure of g as a symmetric
+// pattern matrix in MatrixMarket coordinate format, the format of the
+// UFL sparse matrix collection the paper draws its test graphs from.
+func WriteMatrixMarket(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate pattern symmetric\n%d %d %d\n", n, n, g.NumEdges()); err != nil {
+		return err
+	}
+	for u := int32(0); u < int32(n); u++ {
+		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+			v := g.Adjncy[k]
+			if v < u {
+				// Lower-triangular convention: row > column.
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u+1, v+1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket reads a symmetric sparse matrix in MatrixMarket
+// coordinate format and returns its adjacency graph (diagonal entries
+// dropped, values ignored). General (non-symmetric) matrices are
+// symmetrised.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return nil, io.ErrUnexpectedEOF
+	}
+	header := strings.ToLower(sc.Text())
+	if !strings.HasPrefix(header, "%%matrixmarket") {
+		return nil, fmt.Errorf("graph: not a MatrixMarket file: %q", header)
+	}
+	if !strings.Contains(header, "coordinate") {
+		return nil, fmt.Errorf("graph: only coordinate MatrixMarket supported")
+	}
+	hasValues := !strings.Contains(header, "pattern")
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: MatrixMarket size line: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("graph: MatrixMarket size line %q", line)
+	}
+	rows, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, err
+	}
+	cols, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	nnz, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return nil, err
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("graph: MatrixMarket matrix is %dx%d, want square", rows, cols)
+	}
+	b := NewBuilder(rows)
+	for k := 0; k < nnz; k++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: MatrixMarket entry %d: %w", k+1, err)
+		}
+		toks := strings.Fields(line)
+		want := 2
+		if hasValues {
+			want = 3
+		}
+		if len(toks) < want {
+			return nil, fmt.Errorf("graph: MatrixMarket entry %q", line)
+		}
+		i, err := strconv.Atoi(toks[0])
+		if err != nil {
+			return nil, err
+		}
+		j, err := strconv.Atoi(toks[1])
+		if err != nil {
+			return nil, err
+		}
+		if i < 1 || i > rows || j < 1 || j > rows {
+			return nil, fmt.Errorf("graph: MatrixMarket entry (%d,%d) out of range", i, j)
+		}
+		if i != j {
+			b.AddEdge(int32(i-1), int32(j-1))
+		}
+	}
+	// The builder merges the duplicates a general matrix produces; the
+	// accumulated weights are irrelevant for pattern use, so rebuild as
+	// unweighted.
+	g := b.Build()
+	g.EWgt = nil
+	return g, nil
+}
+
+// WriteEdgeList writes one "u v" pair per undirected edge (0-based),
+// the lowest-common-denominator exchange format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+			if v := g.Adjncy[k]; u < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses whitespace-separated "u v" pairs (0-based,
+// comments starting with '#' or '%' skipped) into a graph whose vertex
+// count is one past the largest id seen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	type pair struct{ u, v int32 }
+	var edges []pair
+	maxID := int32(-1)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list: %w", err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list: %w", err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: negative vertex id in %q", line)
+		}
+		edges = append(edges, pair{int32(u), int32(v)})
+		if int32(u) > maxID {
+			maxID = int32(u)
+		}
+		if int32(v) > maxID {
+			maxID = int32(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(int(maxID + 1))
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v)
+	}
+	g := b.Build()
+	g.EWgt = nil // duplicates in edge lists are not weights
+	return g, nil
+}

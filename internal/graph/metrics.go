@@ -1,0 +1,140 @@
+package graph
+
+import "fmt"
+
+// CutSize returns the total weight of edges whose endpoints lie in
+// different parts. part must assign a part id to every vertex.
+func CutSize(g *Graph, part []int32) int64 {
+	if len(part) != g.NumVertices() {
+		panic(fmt.Sprintf("graph: CutSize: len(part)=%d want %d", len(part), g.NumVertices()))
+	}
+	var cut int64
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+			v := g.Adjncy[k]
+			if u < v && part[u] != part[v] {
+				cut += int64(g.ArcWeight(k))
+			}
+		}
+	}
+	return cut
+}
+
+// PartWeights returns the total vertex weight in each of k parts.
+func PartWeights(g *Graph, part []int32, k int) []int64 {
+	w := make([]int64, k)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		p := part[v]
+		if p < 0 || int(p) >= k {
+			panic(fmt.Sprintf("graph: PartWeights: part[%d]=%d out of range", v, p))
+		}
+		w[p] += int64(g.VertexWeight(v))
+	}
+	return w
+}
+
+// Imbalance returns max_i(k * w_i / W) - 1 for a k-way partition: 0 for
+// perfectly balanced, 0.05 for 5% over the ideal part weight.
+func Imbalance(g *Graph, part []int32, k int) float64 {
+	w := PartWeights(g, part, k)
+	total := int64(0)
+	for _, wi := range w {
+		total += wi
+	}
+	if total == 0 {
+		return 0
+	}
+	mx := int64(0)
+	for _, wi := range w {
+		if wi > mx {
+			mx = wi
+		}
+	}
+	return float64(k)*float64(mx)/float64(total) - 1
+}
+
+// SeparatorEdges returns the Adjncy-ordered list of (u,v) pairs with
+// u < v crossing the bisection, i.e. the edge separator S of the paper.
+func SeparatorEdges(g *Graph, part []int32) [][2]int32 {
+	var sep [][2]int32
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+			v := g.Adjncy[k]
+			if u < v && part[u] != part[v] {
+				sep = append(sep, [2]int32{u, v})
+			}
+		}
+	}
+	return sep
+}
+
+// BoundaryVertices returns the vertices incident to at least one cut
+// edge.
+func BoundaryVertices(g *Graph, part []int32) []int32 {
+	var bnd []int32
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+			if part[g.Adjncy[k]] != part[u] {
+				bnd = append(bnd, u)
+				break
+			}
+		}
+	}
+	return bnd
+}
+
+// Components labels the connected components of g, returning the label
+// array and the number of components. Labels are dense in [0, count).
+func Components(g *Graph) (label []int32, count int) {
+	n := g.NumVertices()
+	label = make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var stack []int32
+	for s := int32(0); s < int32(n); s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		label[s] = id
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Neighbors(u) {
+				if label[v] < 0 {
+					label[v] = id
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return label, count
+}
+
+// InducedSubgraph extracts the subgraph on the given vertices. It
+// returns the subgraph (with weights inherited) and the mapping from
+// subgraph vertex ids back to ids in g. Edges leaving the vertex set
+// are dropped.
+func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32) {
+	toLocal := make(map[int32]int32, len(vertices))
+	for i, v := range vertices {
+		toLocal[v] = int32(i)
+	}
+	b := NewBuilder(len(vertices))
+	for i, v := range vertices {
+		if g.VWgt != nil {
+			b.SetVertexWeight(int32(i), g.VWgt[v])
+		}
+		for k := g.XAdj[v]; k < g.XAdj[v+1]; k++ {
+			w := g.Adjncy[k]
+			if lw, ok := toLocal[w]; ok && v < w {
+				b.AddWeightedEdge(int32(i), lw, g.ArcWeight(k))
+			}
+		}
+	}
+	back := append([]int32(nil), vertices...)
+	return b.Build(), back
+}

@@ -1,0 +1,61 @@
+package mpi
+
+// AllToAllV delivers dest[r] to each rank r and returns the payloads
+// received, indexed by source rank (empty slices where nothing was
+// sent). dest[own rank] is moved across directly. bytesPerElem sizes
+// the modeled payload.
+//
+// The implementation first exchanges per-destination counts (modeled as
+// the usual MPI_Alltoall of one integer per destination: Latency·log2 P
+// + PerByte·4·P per rank) and then moves only the non-empty payloads
+// with point-to-point messages, receiving in ascending source order for
+// determinism.
+func AllToAllV[T any](c *Comm, dest [][]T, bytesPerElem int) [][]T {
+	p := c.Size()
+	if len(dest) != p {
+		panic("mpi: AllToAllV needs one destination slice per rank")
+	}
+	counts := make([]int32, p)
+	for r, d := range dest {
+		counts[r] = int32(len(d))
+	}
+	recvCounts := exchangeCounts(c, counts)
+	for r, d := range dest {
+		if r == c.Rank() || len(d) == 0 {
+			continue
+		}
+		c.Send(r, d, bytesPerElem*len(d))
+	}
+	out := make([][]T, p)
+	out[c.Rank()] = dest[c.Rank()]
+	for r := 0; r < p; r++ {
+		if r == c.Rank() || recvCounts[r] == 0 {
+			continue
+		}
+		out[r] = c.Recv(r).([]T)
+	}
+	return out
+}
+
+// exchangeCounts gives every rank the column of the count matrix that
+// is addressed to it: result[src] = how many elements src sends here.
+// Modeled as an all-to-all of one int32 per pair.
+func exchangeCounts(c *Comm, counts []int32) []int32 {
+	m := c.Model()
+	cost := m.Latency*log2ceil(c.size) + m.PerByte*4*float64(c.size) + m.PerPeer*float64(c.size)
+	res := c.runCollective(counts, func(vals []any) any {
+		// vals[src][dst]: build the full matrix once; each rank
+		// extracts its column after the collective.
+		matrix := make([][]int32, len(vals))
+		for i, v := range vals {
+			matrix[i] = v.([]int32)
+		}
+		return matrix
+	}, cost)
+	matrix := res.([][]int32)
+	col := make([]int32, c.size)
+	for src := 0; src < c.size; src++ {
+		col[src] = matrix[src][c.rank]
+	}
+	return col
+}

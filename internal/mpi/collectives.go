@@ -1,0 +1,134 @@
+package mpi
+
+// Typed collectives. These are package-level generic functions because
+// Go methods cannot be generic; each wraps Comm.runCollective with the
+// standard cost formula for the operation.
+
+// AllReduce combines one value per rank with the associative op
+// (applied in rank order) and returns the result to every rank. bytes
+// is the payload size of one value. Cost: reduce tree + broadcast tree,
+// 2·(Latency + PerByte·bytes)·log2(P).
+func AllReduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
+	m := c.Model()
+	cost := 2 * (m.Latency + m.PerByte*float64(bytes)) * log2ceil(c.size)
+	res := c.runCollective(val, func(vals []any) any {
+		acc := vals[0].(T)
+		for _, v := range vals[1:] {
+			acc = op(acc, v.(T))
+		}
+		return acc
+	}, cost)
+	return res.(T)
+}
+
+// Reduce is AllReduce delivered to all ranks but charged at reduce-tree
+// cost (Latency + PerByte·bytes)·log2(P); non-root ranks receiving the
+// value costs nothing extra in the model, matching the paper's use of
+// reductions whose results every processor ends up needing.
+func Reduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
+	m := c.Model()
+	cost := (m.Latency + m.PerByte*float64(bytes)) * log2ceil(c.size)
+	res := c.runCollective(val, func(vals []any) any {
+		acc := vals[0].(T)
+		for _, v := range vals[1:] {
+			acc = op(acc, v.(T))
+		}
+		return acc
+	}, cost)
+	return res.(T)
+}
+
+// AllReduceSlice element-wise combines equal-length slices across
+// ranks. bytesPerElem sizes the payload.
+func AllReduceSlice[T any](c *Comm, vals []T, bytesPerElem int, op func(a, b T) T) []T {
+	m := c.Model()
+	cost := 2 * (m.Latency + m.PerByte*float64(bytesPerElem*len(vals))) * log2ceil(c.size)
+	res := c.runCollective(vals, func(contribs []any) any {
+		first := contribs[0].([]T)
+		acc := append([]T(nil), first...)
+		for _, cv := range contribs[1:] {
+			other := cv.([]T)
+			if len(other) != len(acc) {
+				panic("mpi: AllReduceSlice with mismatched lengths")
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], other[i])
+			}
+		}
+		return acc
+	}, cost)
+	return res.([]T)
+}
+
+// AllGather collects one value per rank, returned in rank order to
+// every rank. Cost: Latency·log2(P) + PerByte·(P-1)·bytes (ring).
+func AllGather[T any](c *Comm, val T, bytes int) []T {
+	m := c.Model()
+	cost := m.Latency*log2ceil(c.size) + m.PerByte*float64(bytes)*float64(c.size-1)
+	res := c.runCollective(val, func(vals []any) any {
+		out := make([]T, len(vals))
+		for i, v := range vals {
+			out[i] = v.(T)
+		}
+		return out
+	}, cost)
+	return res.([]T)
+}
+
+// AllGatherV collects a variable-length slice per rank; every rank
+// receives the concatenation in rank order (returned per-rank to allow
+// offset recovery). bytesPerElem sizes elements; the modeled cost uses
+// the true total payload, which requires the combine callback, so the
+// cost is charged as an extra clock adjustment inside the collective:
+// Latency·log2(P) + PerByte·totalBytes.
+func AllGatherV[T any](c *Comm, vals []T, bytesPerElem int) [][]T {
+	m := c.Model()
+	// The total size is unknown until all contributions arrive, so the
+	// collective is run with a size-exchange first: a cheap AllReduce
+	// of the local byte count, then the gather charged with the total.
+	total := AllReduce(c, len(vals)*bytesPerElem, 8, func(a, b int) int { return a + b })
+	cost := m.Latency*log2ceil(c.size) + m.PerByte*float64(total)
+	res := c.runCollective(vals, func(contribs []any) any {
+		out := make([][]T, len(contribs))
+		for i, v := range contribs {
+			out[i] = v.([]T)
+		}
+		return out
+	}, cost)
+	return res.([][]T)
+}
+
+// Concat flattens the rank-ordered slices an AllGatherV returns.
+func Concat[T any](parts [][]T) []T {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// MaxFloat64 and SumFloat64 are common AllReduce operators.
+func MaxFloat64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinFloat64 returns the smaller of a and b.
+func MinFloat64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SumFloat64 returns a + b.
+func SumFloat64(a, b float64) float64 { return a + b }
+
+// SumInt64 returns a + b.
+func SumInt64(a, b int64) int64 { return a + b }

@@ -1,0 +1,473 @@
+// Package mpi implements the custom message-passing layer this
+// reproduction uses in place of MPI. A World runs P simulated ranks,
+// each on its own goroutine, communicating through point-to-point
+// messages and MPI-style collectives (Barrier, Bcast, Reduce,
+// AllReduce, AllGather) over prefix sub-communicators.
+//
+// Alongside the real data movement, every rank carries a virtual clock
+// charged with a LogP-style cost model: local computation costs
+// PerOp seconds per charged operation, a point-to-point message costs
+// Latency + PerByte·bytes, and collectives cost their standard
+// tree/ring formulas. Collectives also synchronise virtual clocks to
+// the participating maximum, so the final per-rank clock is exactly the
+// bulk-synchronous execution time of the algorithm on a P-processor
+// machine with those machine constants — the quantity Section 3.1 of
+// the paper analyses. Reported "execution times" throughout the
+// benchmark harness are maxima of these clocks, not wall time, which is
+// how a 1024-rank sweep runs on a laptop while preserving the paper's
+// scalability shapes.
+//
+// Determinism: messages are matched by explicit source, reductions
+// combine contributions in rank order, and no rank ever waits on "any
+// source", so clocks and algorithm outputs are independent of the Go
+// scheduler.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Model holds the machine constants of the simulated cluster.
+type Model struct {
+	Latency float64 // ts: seconds per message / per collective hop
+	PerByte float64 // tw: seconds per byte of message payload
+	PerOp   float64 // seconds per charged unit of local computation
+	// PerPeer is the per-destination posting/packing overhead of an
+	// irregular vector exchange (MPI_Alltoallv-style), the "o·P" term
+	// of LogGP-like models: every such exchange costs PerPeer·P on top
+	// of latency and bandwidth. This term is what makes multilevel
+	// partitioners with per-level irregular exchanges degrade once
+	// N/P gets small.
+	PerPeer float64
+}
+
+// DefaultModel returns constants representative of the paper's testbed
+// (2.66 GHz Nehalem nodes on QDR InfiniBand): ~2 µs MPI latency,
+// ~3 GB/s effective bandwidth, and ~1.5 ns per charged graph operation
+// (a charged operation is an edge traversal with a handful of floating
+// point operations, not a single instruction).
+func DefaultModel() Model {
+	return Model{
+		Latency: 2.0e-6,
+		PerByte: 0.33e-9,
+		PerOp:   1.5e-9,
+		PerPeer: 0.2e-6,
+	}
+}
+
+// RankStats is the per-rank outcome of a World run.
+type RankStats struct {
+	Rank      int
+	Time      float64 // final virtual clock, seconds
+	CommTime  float64 // portion of Time spent in (or waiting on) communication
+	BytesSent int64   // payload bytes this rank sent point-to-point
+	Messages  int64   // point-to-point messages this rank sent
+}
+
+// MaxTime returns the largest virtual clock across ranks — the modeled
+// parallel execution time.
+func MaxTime(stats []RankStats) float64 {
+	mx := 0.0
+	for _, s := range stats {
+		if s.Time > mx {
+			mx = s.Time
+		}
+	}
+	return mx
+}
+
+// MaxCommTime returns the largest per-rank communication time.
+func MaxCommTime(stats []RankStats) float64 {
+	mx := 0.0
+	for _, s := range stats {
+		if s.CommTime > mx {
+			mx = s.CommTime
+		}
+	}
+	return mx
+}
+
+type message struct {
+	src     int
+	data    any
+	arrival float64 // virtual time at which the payload is available
+	cost    float64 // modeled transfer cost (Latency + PerByte·bytes)
+}
+
+// rankState is the per-rank mutable state shared by all Comms of that
+// rank (full communicator and sub-communicators alike). Point-to-point
+// delivery uses one buffered inbox per receiver (not one channel per
+// rank pair, which is quadratic in P); messages are matched to explicit
+// sources through the pending queues, which only the owning goroutine
+// touches.
+type rankState struct {
+	clock     float64
+	commTime  float64
+	bytesSent int64
+	messages  int64
+	inbox     chan message
+	pending   map[int][]message
+}
+
+// World is a group of simulated ranks. Create one per parallel run via
+// Run.
+type World struct {
+	size  int
+	model Model
+
+	collMu sync.Mutex
+	colls  map[int]*collective // keyed by communicator size
+
+	ranks []*rankState
+}
+
+// collective is a reusable generation-counted rendezvous for the first
+// `size` ranks of the world.
+type collective struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	size   int
+	gen    int64
+	count  int
+	vals   []any
+	clocks []float64
+	costs  []float64
+	result any
+	done   float64 // clock at which the current generation completes
+}
+
+func newCollective(size int) *collective {
+	c := &collective{
+		size:   size,
+		vals:   make([]any, size),
+		clocks: make([]float64, size),
+		costs:  make([]float64, size),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Run executes body on p simulated ranks and returns their stats in
+// rank order. body must communicate only through the provided Comm.
+// Panics in any rank are re-raised in the caller after all goroutines
+// stop, so a failing algorithm fails the test that drives it.
+func Run(p int, model Model, body func(*Comm)) []RankStats {
+	if p <= 0 {
+		panic("mpi: Run with non-positive size")
+	}
+	w := &World{
+		size:  p,
+		model: model,
+		colls: make(map[int]*collective),
+		ranks: make([]*rankState, p),
+	}
+	// Inbox capacity must cover the worst transient backlog: every other
+	// rank sending twice (two pipelined exchange phases) before this
+	// rank drains.
+	capacity := 2*p + 64
+	for i := range w.ranks {
+		w.ranks[i] = &rankState{
+			inbox:   make(chan message, capacity),
+			pending: make(map[int][]message),
+		}
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[rank] = e
+				}
+			}()
+			body(&Comm{world: w, rank: rank, size: p, state: w.ranks[rank]})
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, e))
+		}
+	}
+	stats := make([]RankStats, p)
+	for r, st := range w.ranks {
+		stats[r] = RankStats{
+			Rank:      r,
+			Time:      st.clock,
+			CommTime:  st.commTime,
+			BytesSent: st.bytesSent,
+			Messages:  st.messages,
+		}
+	}
+	return stats
+}
+
+func (w *World) collectiveFor(size int) *collective {
+	w.collMu.Lock()
+	c, ok := w.colls[size]
+	if !ok {
+		c = newCollective(size)
+		w.colls[size] = c
+	}
+	w.collMu.Unlock()
+	return c
+}
+
+// Comm is one rank's handle on a communicator. The zero value is not
+// usable; Comms are produced by Run and SubComm.
+type Comm struct {
+	world *World
+	rank  int // world rank (== communicator rank: subcomms are prefixes)
+	size  int
+	state *rankState
+}
+
+// Rank returns this rank's id within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Model returns the machine constants of the world.
+func (c *Comm) Model() Model { return c.world.model }
+
+// Elapsed returns this rank's current virtual clock in seconds.
+func (c *Comm) Elapsed() float64 { return c.state.clock }
+
+// CommElapsed returns the communication portion of the virtual clock.
+func (c *Comm) CommElapsed() float64 { return c.state.commTime }
+
+// Charge advances the virtual clock by ops charged operations of local
+// computation.
+func (c *Comm) Charge(ops float64) {
+	c.state.clock += ops * c.world.model.PerOp
+}
+
+// ChargeTime advances the virtual clock by the given number of seconds
+// of local computation (for costs not naturally expressed in ops).
+func (c *Comm) ChargeTime(seconds float64) {
+	c.state.clock += seconds
+}
+
+// SubComm returns a communicator over the first n world ranks, or nil
+// if this rank is not a member. Point-to-point operations always use
+// world rank ids; SubComm only scopes collectives.
+func (c *Comm) SubComm(n int) *Comm {
+	if n < 1 || n > c.world.size {
+		panic(fmt.Sprintf("mpi: SubComm(%d) of world size %d", n, c.world.size))
+	}
+	if c.rank >= n {
+		return nil
+	}
+	return &Comm{world: c.world, rank: c.rank, size: n, state: c.state}
+}
+
+// Send delivers data to rank `to`. bytes is the modeled payload size.
+// The payload is available to the receiver at sender-clock + Latency +
+// PerByte·bytes; the sender itself is charged the send overhead
+// (Latency). Send never blocks unless the channel to `to` holds 4096
+// undelivered messages.
+func (c *Comm) Send(to int, data any, bytes int) {
+	if to == c.rank {
+		panic("mpi: Send to self")
+	}
+	m := c.world.model
+	cost := m.Latency + m.PerByte*float64(bytes)
+	arrival := c.state.clock + cost
+	c.world.ranks[to].inbox <- message{src: c.rank, data: data, arrival: arrival, cost: cost}
+	c.state.clock += m.Latency
+	c.state.commTime += m.Latency
+	c.state.bytesSent += int64(bytes)
+	c.state.messages++
+}
+
+// Recv blocks until a message from rank `from` is available and returns
+// its payload, advancing the virtual clock to the message arrival time
+// (or leaving it unchanged if the message already arrived in virtual
+// time).
+func (c *Comm) Recv(from int) any {
+	msg, ok := c.takePending(from)
+	for !ok {
+		in := <-c.state.inbox
+		if in.src == from {
+			msg = in
+			break
+		}
+		c.state.pending[in.src] = append(c.state.pending[in.src], in)
+	}
+	advance := msg.arrival - c.state.clock
+	if advance > 0 {
+		c.state.clock = msg.arrival
+	} else {
+		advance = 0
+	}
+	// Communication time counts the transfer cost, capped by the actual
+	// clock advance: waiting caused by load imbalance or late activation
+	// is not communication.
+	comm := msg.cost
+	if advance < comm {
+		comm = advance
+	}
+	c.state.commTime += comm
+	return msg.data
+}
+
+// takePending pops the oldest queued message from `from`, if any.
+func (c *Comm) takePending(from int) (message, bool) {
+	q := c.state.pending[from]
+	if len(q) == 0 {
+		return message{}, false
+	}
+	msg := q[0]
+	if len(q) == 1 {
+		delete(c.state.pending, from)
+	} else {
+		c.state.pending[from] = q[1:]
+	}
+	return msg, true
+}
+
+// SendRecv performs a simultaneous exchange with partner: data flows
+// both ways, as in MPI_Sendrecv. It is the deadlock-free primitive for
+// halo exchanges on the processor grid.
+func (c *Comm) SendRecv(partner int, data any, bytes int) any {
+	c.Send(partner, data, bytes)
+	return c.Recv(partner)
+}
+
+// log2ceil returns ceil(log2(n)) with log2ceil(1) == 0.
+func log2ceil(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// runCollective performs the generation-matched rendezvous: every rank
+// of the communicator contributes val; combine runs once, in rank
+// order, when the last rank arrives; all ranks' clocks advance to
+// max(clock) + cost and the combined value is returned to each.
+func (c *Comm) runCollective(val any, combine func(vals []any) any, cost float64) any {
+	if c.size == 1 {
+		c.state.clock += cost
+		c.state.commTime += cost
+		return combine([]any{val})
+	}
+
+	coll := c.world.collectiveFor(c.size)
+	coll.mu.Lock()
+	myGen := coll.gen
+	coll.vals[c.rank] = val
+	coll.clocks[c.rank] = c.state.clock
+	coll.costs[c.rank] = cost
+	coll.count++
+	if coll.count == coll.size {
+		mx := coll.clocks[0]
+		for _, t := range coll.clocks[1:] {
+			if t > mx {
+				mx = t
+			}
+		}
+		// The charged cost is the maximum any rank declared, so
+		// asymmetric byte counts (e.g. a broadcast whose non-roots do
+		// not know the payload size) stay deterministic.
+		mc := coll.costs[0]
+		for _, cc := range coll.costs[1:] {
+			if cc > mc {
+				mc = cc
+			}
+		}
+		coll.result = combine(coll.vals)
+		coll.done = mx + mc
+		coll.count = 0
+		coll.gen++
+		coll.cond.Broadcast()
+	} else {
+		for coll.gen == myGen {
+			coll.cond.Wait()
+		}
+	}
+	res, done := coll.result, coll.done
+	coll.mu.Unlock()
+	if done > c.state.clock {
+		advance := done - c.state.clock
+		c.state.clock = done
+		// Only the collective's own cost counts as communication; the
+		// remainder of the advance is waiting on slower ranks (load
+		// imbalance or late activation).
+		comm := cost
+		if advance < comm {
+			comm = advance
+		}
+		c.state.commTime += comm
+	}
+	return res
+}
+
+// Barrier synchronises all ranks of the communicator; cost is a
+// log2(P)-depth tree of latencies.
+func (c *Comm) Barrier() {
+	m := c.world.model
+	c.runCollective(nil, func([]any) any { return nil },
+		m.Latency*log2ceil(c.size))
+}
+
+// Bcast distributes root's data to every rank. bytes is the payload
+// size; cost is a binomial tree: (Latency + PerByte·bytes)·log2(P).
+func (c *Comm) Bcast(root int, data any, bytes int) any {
+	if root < 0 || root >= c.size {
+		panic("mpi: Bcast root out of range")
+	}
+	m := c.world.model
+	return c.runCollective(data, func(vals []any) any { return vals[root] },
+		(m.Latency+m.PerByte*float64(bytes))*log2ceil(c.size))
+}
+
+// phaseMarker supports PhaseTimer.
+type PhaseTimer struct {
+	c     *Comm
+	t0    float64
+	comm0 float64
+}
+
+// StartPhase snapshots the virtual clock so algorithms can attribute
+// time to named phases (coarsening, embedding, partitioning, ...).
+func (c *Comm) StartPhase() PhaseTimer {
+	return PhaseTimer{c: c, t0: c.state.clock, comm0: c.state.commTime}
+}
+
+// Stop returns the total and communication virtual time elapsed since
+// StartPhase.
+func (t PhaseTimer) Stop() (total, comm float64) {
+	return t.c.state.clock - t.t0, t.c.state.commTime - t.comm0
+}
+
+// ChargeComm advances the virtual clock by a modeled point-to-point
+// communication cost (messages·Latency + bytes·PerByte) without moving
+// data. Drivers use it when replaying the cost of a communication whose
+// data dependencies the simulation has already satisfied (e.g. the
+// replicated-topology coarsening exchange).
+func (c *Comm) ChargeComm(messages, bytes int) {
+	m := c.world.model
+	d := float64(messages)*m.Latency + float64(bytes)*m.PerByte
+	c.state.clock += d
+	c.state.commTime += d
+}
+
+// SyncCost synchronises the communicator like Barrier but charges the
+// given collective cost (seconds) instead of the barrier tree formula.
+func (c *Comm) SyncCost(cost float64) {
+	c.runCollective(nil, func([]any) any { return nil }, cost)
+}
+
+// CollectiveCost returns the modeled cost of a tree collective moving
+// `bytes` payload over this communicator: (Latency + PerByte·bytes) ·
+// ceil(log2 P).
+func (c *Comm) CollectiveCost(bytes int) float64 {
+	m := c.world.model
+	return (m.Latency + m.PerByte*float64(bytes)) * log2ceil(c.size)
+}

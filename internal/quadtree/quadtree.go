@@ -1,0 +1,234 @@
+// Package quadtree implements the Barnes–Hut quadtree used by the
+// sequential force-directed embedding baseline: O(n log n) approximate
+// evaluation of long-range repulsive forces, with the classic theta
+// opening criterion.
+package quadtree
+
+import (
+	"repro/internal/geometry"
+)
+
+const maxDepth = 48
+
+// node is one quadtree cell. Leaves hold a single point index (or -1);
+// internal nodes hold the total mass and centre of mass of their
+// subtree.
+type node struct {
+	children [4]int32 // -1 when absent
+	com      geometry.Vec2
+	mass     float64
+	capSum   geometry.Vec2 // mass-weighted position sum of depth-capped points
+	capMass  float64       // total mass of depth-capped points in this cell
+	point    int32         // point index for a leaf, -1 for internal
+	count    int32         // points in subtree
+}
+
+// Tree is a Barnes–Hut quadtree over weighted points in the plane.
+type Tree struct {
+	nodes  []node
+	bounds geometry.Rect
+	pts    []geometry.Vec2
+	mass   []float64
+}
+
+// Build constructs a quadtree over pts. mass may be nil for unit
+// masses. Duplicate and near-duplicate points are handled by capping
+// subdivision depth; beyond the cap, points accumulate in the same cell
+// and only contribute through its aggregate.
+func Build(pts []geometry.Vec2, mass []float64) *Tree {
+	if len(pts) == 0 {
+		return &Tree{}
+	}
+	t := &Tree{
+		bounds: squareBounds(geometry.BoundingRect(pts)),
+		pts:    pts,
+		mass:   mass,
+	}
+	t.nodes = make([]node, 1, 2*len(pts))
+	t.nodes[0] = emptyNode()
+	for i := range pts {
+		t.insert(0, int32(i), t.bounds, 0)
+	}
+	t.aggregate(0)
+	return t
+}
+
+func emptyNode() node {
+	return node{children: [4]int32{-1, -1, -1, -1}, point: -1}
+}
+
+// squareBounds pads the rect into a square so quadrants stay square.
+func squareBounds(r geometry.Rect) geometry.Rect {
+	w, h := r.Width(), r.Height()
+	side := w
+	if h > side {
+		side = h
+	}
+	if side == 0 {
+		side = 1
+	}
+	c := r.Center()
+	half := side/2 + 1e-9*side
+	return geometry.Rect{X0: c.X - half, Y0: c.Y - half, X1: c.X + half, Y1: c.Y + half}
+}
+
+func quadrant(b geometry.Rect, p geometry.Vec2) (int, geometry.Rect) {
+	c := b.Center()
+	q := 0
+	x0, y0, x1, y1 := b.X0, b.Y0, c.X, c.Y
+	if p.X > c.X {
+		q |= 1
+		x0, x1 = c.X, b.X1
+	}
+	if p.Y > c.Y {
+		q |= 2
+		y0, y1 = c.Y, b.Y1
+	}
+	return q, geometry.Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+}
+
+func (t *Tree) massOf(i int32) float64 {
+	if t.mass == nil {
+		return 1
+	}
+	return t.mass[i]
+}
+
+func (t *Tree) insert(ni int32, pi int32, b geometry.Rect, depth int) {
+	n := &t.nodes[ni]
+	n.count++
+	if depth >= maxDepth {
+		// Depth cap: fold the point into this cell's aggregate only.
+		m := t.massOf(pi)
+		n.capSum = n.capSum.Add(t.pts[pi].Scale(m))
+		n.capMass += m
+		return
+	}
+	if n.count == 1 {
+		n.point = pi
+		return
+	}
+	if n.point >= 0 {
+		// Leaf becoming internal: push the resident point down.
+		old := n.point
+		n.point = -1
+		q, qb := quadrant(b, t.pts[old])
+		ci := t.child(ni, q)
+		t.insert(ci, old, qb, depth+1)
+	}
+	q, qb := quadrant(b, t.pts[pi])
+	ci := t.child(ni, q)
+	t.insert(ci, pi, qb, depth+1)
+}
+
+// child returns (allocating if needed) the q-th child of node ni. Note
+// the re-take of the node pointer after append, which may move nodes.
+func (t *Tree) child(ni int32, q int) int32 {
+	if c := t.nodes[ni].children[q]; c >= 0 {
+		return c
+	}
+	t.nodes = append(t.nodes, emptyNode())
+	c := int32(len(t.nodes) - 1)
+	t.nodes[ni].children[q] = c
+	return c
+}
+
+// aggregate computes subtree masses and centres bottom-up.
+func (t *Tree) aggregate(ni int32) (geometry.Vec2, float64) {
+	n := &t.nodes[ni]
+	com, mass := n.capSum, n.capMass // depth-capped accumulation, usually zero
+	if n.point >= 0 {
+		m := t.massOf(n.point)
+		com = com.Add(t.pts[n.point].Scale(m))
+		mass += m
+	}
+	for _, c := range n.children {
+		if c < 0 {
+			continue
+		}
+		ccom, cmass := t.aggregate(c)
+		com = com.Add(ccom.Scale(cmass))
+		mass += cmass
+	}
+	if mass > 0 {
+		n.com = com.Scale(1 / mass)
+	}
+	n.mass = mass
+	return n.com, n.mass
+}
+
+// ForEachCluster traverses the tree for query point p with opening
+// parameter theta, invoking visit once per accepted cluster or point
+// with its centre of mass, aggregate mass, and point index (-1 for an
+// aggregated internal cell). The query point itself (exclude index) is
+// skipped.
+func (t *Tree) ForEachCluster(p geometry.Vec2, exclude int32, theta float64, visit func(com geometry.Vec2, mass float64, point int32)) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.walk(0, t.bounds, p, exclude, theta, visit)
+}
+
+func (t *Tree) walk(ni int32, b geometry.Rect, p geometry.Vec2, exclude int32, theta float64, visit func(geometry.Vec2, float64, int32)) {
+	n := &t.nodes[ni]
+	if n.count == 0 || n.mass == 0 {
+		return
+	}
+	if n.point >= 0 && n.count == 1 {
+		if n.point != exclude {
+			visit(t.pts[n.point], t.massOf(n.point), n.point)
+		}
+		return
+	}
+	d := p.Dist(n.com)
+	if d > 0 && b.Width()/d < theta {
+		// Accept the cell as a single far-field cluster. When the
+		// query point is inside the subtree this slightly
+		// double-counts it; theta < 1 keeps that case rare and the
+		// embedding tolerates the approximation.
+		visit(n.com, n.mass, -1)
+		return
+	}
+	if n.point >= 0 && n.point != exclude {
+		visit(t.pts[n.point], t.massOf(n.point), n.point)
+	}
+	if n.capMass > 0 {
+		// Near-field depth-capped residue: visit its aggregate so the
+		// points folded at the depth cap are never lost.
+		visit(n.capSum.Scale(1/n.capMass), n.capMass, -1)
+	}
+	c := b.Center()
+	for q, ci := range n.children {
+		if ci < 0 {
+			continue
+		}
+		qb := b
+		if q&1 == 0 {
+			qb.X1 = c.X
+		} else {
+			qb.X0 = c.X
+		}
+		if q&2 == 0 {
+			qb.Y1 = c.Y
+		} else {
+			qb.Y0 = c.Y
+		}
+		t.walk(ci, qb, p, exclude, theta, visit)
+	}
+}
+
+// Len returns the number of points in the tree.
+func (t *Tree) Len() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return int(t.nodes[0].count)
+}
+
+// TotalMass returns the total mass in the tree.
+func (t *Tree) TotalMass() float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return t.nodes[0].mass
+}

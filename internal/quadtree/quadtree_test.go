@@ -1,0 +1,126 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func randomPoints(n int, seed int64) []geometry.Vec2 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geometry.Vec2, n)
+	for i := range pts {
+		pts[i] = geometry.Vec2{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func TestMassConservation(t *testing.T) {
+	pts := randomPoints(500, 1)
+	mass := make([]float64, len(pts))
+	total := 0.0
+	rng := rand.New(rand.NewSource(2))
+	for i := range mass {
+		mass[i] = rng.Float64() + 0.5
+		total += mass[i]
+	}
+	tr := Build(pts, mass)
+	if math.Abs(tr.TotalMass()-total) > 1e-9 {
+		t.Fatalf("total mass %v want %v", tr.TotalMass(), total)
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("len %d want %d", tr.Len(), len(pts))
+	}
+}
+
+// TestVisitedMassComplete: for any query, the sum of visited masses
+// must equal total minus the excluded point, regardless of theta.
+func TestVisitedMassComplete(t *testing.T) {
+	pts := randomPoints(400, 3)
+	tr := Build(pts, nil)
+	for _, theta := range []float64{0.3, 0.85, 1.5} {
+		for q := 0; q < 50; q++ {
+			sum := 0.0
+			tr.ForEachCluster(pts[q], int32(q), theta, func(_ geometry.Vec2, m float64, _ int32) {
+				sum += m
+			})
+			// With theta >= 1 a cell containing the query point may be
+			// accepted whole, re-including the query's own mass (the
+			// documented approximation); below 1 the count is exact.
+			want := float64(len(pts) - 1)
+			slack := 1e-9
+			if theta >= 1 {
+				slack = 1 + 1e-9
+			}
+			if sum < want-1e-9 || sum > want+slack {
+				t.Fatalf("theta %v query %d: visited mass %v want %v", theta, q, sum, want)
+			}
+		}
+	}
+}
+
+// TestForceApproximation: 1/d-kernel force from the tree must be close
+// to the exact sum for moderate theta.
+func TestForceApproximation(t *testing.T) {
+	pts := randomPoints(800, 7)
+	tr := Build(pts, nil)
+	kernel := func(at, from geometry.Vec2, m float64) geometry.Vec2 {
+		d := at.Sub(from)
+		dist2 := d.Dot(d)
+		if dist2 < 1e-12 {
+			dist2 = 1e-12
+		}
+		return d.Scale(m / dist2)
+	}
+	for q := 0; q < 30; q++ {
+		var exact, approx geometry.Vec2
+		for j := range pts {
+			if j == q {
+				continue
+			}
+			exact = exact.Add(kernel(pts[q], pts[j], 1))
+		}
+		tr.ForEachCluster(pts[q], int32(q), 0.6, func(com geometry.Vec2, m float64, _ int32) {
+			approx = approx.Add(kernel(pts[q], com, m))
+		})
+		relErr := exact.Sub(approx).Norm() / (exact.Norm() + 1e-12)
+		if relErr > 0.12 {
+			t.Fatalf("query %d: relative error %.3f", q, relErr)
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]geometry.Vec2, 64)
+	for i := range pts {
+		pts[i] = geometry.Vec2{X: 0.5, Y: 0.5} // all identical
+	}
+	tr := Build(pts, nil)
+	if tr.Len() != 64 || math.Abs(tr.TotalMass()-64) > 1e-9 {
+		t.Fatalf("len=%d mass=%v", tr.Len(), tr.TotalMass())
+	}
+	sum := 0.0
+	tr.ForEachCluster(geometry.Vec2{X: 0.1, Y: 0.1}, -1, 0.85, func(_ geometry.Vec2, m float64, _ int32) {
+		sum += m
+	})
+	if math.Abs(sum-64) > 1e-9 {
+		t.Fatalf("visited mass %v want 64", sum)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if tr := Build(nil, nil); tr.Len() != 0 {
+		t.Fatal("empty tree not empty")
+	}
+	tr := Build([]geometry.Vec2{{X: 1, Y: 2}}, nil)
+	if tr.Len() != 1 {
+		t.Fatal("single tree wrong")
+	}
+	count := 0
+	tr.ForEachCluster(geometry.Vec2{}, 0, 0.85, func(_ geometry.Vec2, _ float64, _ int32) { count++ })
+	if count != 0 {
+		t.Fatal("excluded point visited")
+	}
+}

@@ -1,0 +1,161 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// noisyBisection returns a balanced grid bisection with fraction f of
+// vertices flipped at random (keeping balance by flipping in pairs).
+func noisyBisection(g *graph.Graph, cols int, f float64, seed int64) []int8 {
+	n := g.NumVertices()
+	side := make([]int8, n)
+	for v := 0; v < n; v++ {
+		if v%cols >= cols/2 {
+			side[v] = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	swaps := int(f * float64(n) / 2)
+	for k := 0; k < swaps; k++ {
+		var a, b int
+		for {
+			a, b = rng.Intn(n), rng.Intn(n)
+			if side[a] == 0 && side[b] == 1 {
+				break
+			}
+		}
+		side[a], side[b] = 1, 0
+	}
+	return side
+}
+
+func fullProblem(g *graph.Graph, side []int8, tol float64, passes int) (*Problem, []int32) {
+	n := g.NumVertices()
+	free := make([]int32, n)
+	for i := range free {
+		free[i] = int32(i)
+	}
+	var sideW [2]int64
+	for v := 0; v < n; v++ {
+		sideW[side[v]] += int64(g.VertexWeight(int32(v)))
+	}
+	return BuildSubproblem(g, free, func(id int32) int8 { return side[id] },
+		sideW, sideW[0]+sideW[1], tol, passes)
+}
+
+func cutOf(g *graph.Graph, side []int8) int64 {
+	part := make([]int32, len(side))
+	for i, s := range side {
+		part[i] = int32(s)
+	}
+	return graph.CutSize(g, part)
+}
+
+// TestFMImprovesNoisyCut: FM must repair most of the damage done to a
+// clean grid bisection.
+func TestFMImprovesNoisyCut(t *testing.T) {
+	gr := gen.Grid2D(24, 24)
+	side := noisyBisection(gr.G, 24, 0.05, 1)
+	before := cutOf(gr.G, side)
+	prob, _ := fullProblem(gr.G, side, 0.03, 8)
+	gain := prob.Run()
+	after := cutOf(gr.G, prob.Side)
+	if before-after != gain {
+		t.Fatalf("reported gain %d but cut went %d -> %d", gain, before, after)
+	}
+	if after > before/2 {
+		t.Fatalf("FM left cut at %d (from %d); expected major repair", after, before)
+	}
+	// Balance must hold.
+	var w [2]int64
+	for v, s := range prob.Side {
+		w[s] += prob.VW[v]
+	}
+	limit := int64(float64(prob.TotalW) * 1.03 / 2)
+	if w[0] > limit || w[1] > limit {
+		t.Fatalf("balance violated: %v (limit %d)", w, limit)
+	}
+}
+
+// TestFMGainMatchesCutDelta on random graphs and random partitions:
+// the invariant that Run's return equals the true cut reduction.
+func TestFMGainMatchesCutDelta(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := gen.RandomGeometric(300, 0.08, seed).G
+		rng := rand.New(rand.NewSource(seed))
+		side := make([]int8, g.NumVertices())
+		for i := range side {
+			side[i] = int8(rng.Intn(2))
+		}
+		before := cutOf(g, side)
+		prob, _ := fullProblem(g, side, 0.1, 4)
+		gain := prob.Run()
+		after := cutOf(g, prob.Side)
+		if before-after != gain {
+			t.Fatalf("seed %d: gain %d but cut %d -> %d", seed, gain, before, after)
+		}
+		if gain < 0 {
+			t.Fatalf("seed %d: negative total gain %d", seed, gain)
+		}
+	}
+}
+
+// TestFMRespectsLockedExterior: a strip problem with strong external
+// pulls must account for Ext in its gains.
+func TestFMRespectsLockedExterior(t *testing.T) {
+	// Path 0-1-2-3; vertices 1,2 free; 0 locked side 0, 3 locked side 1.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	side := map[int32]int8{0: 0, 1: 1, 2: 0, 3: 1} // crossed: cut=3
+	prob, ids := BuildSubproblem(g, []int32{1, 2}, func(id int32) int8 { return side[id] },
+		[2]int64{2, 2}, 4, 0.6, 4)
+	gain := prob.Run()
+	if gain != 2 {
+		t.Fatalf("gain = %d, want 2 (cut 3 -> 1)", gain)
+	}
+	// Within the generous tolerance two optima exist ((0,0,1,1) and
+	// (0,0,0,1)); both have cut 1.
+	if prob.CutWeight() != 1 {
+		t.Fatalf("cut = %d, want 1 (sides %v, ids %v)", prob.CutWeight(), prob.Side, ids)
+	}
+}
+
+func TestGainDefinition(t *testing.T) {
+	// Triangle with one vertex opposite: moving it joins its friends.
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(0, 2, 3)
+	b.AddWeightedEdge(1, 2, 1)
+	g := b.Build()
+	side := []int8{1, 0, 0}
+	prob, _ := fullProblem(g, side, 1.0, 1)
+	if gain := prob.Gain(0); gain != 5 {
+		t.Fatalf("gain(0) = %d, want 5", gain)
+	}
+	if gain := prob.Gain(1); gain != 2-1-0 {
+		t.Fatalf("gain(1) = %d, want 1", gain)
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	gr := gen.Grid2D(8, 8)
+	side := noisyBisection(gr.G, 8, 0, 1)
+	prob, _ := fullProblem(gr.G, side, 0.1, 1)
+	if prob.CutWeight() != cutOf(gr.G, side) {
+		t.Fatalf("CutWeight %d vs true %d", prob.CutWeight(), cutOf(gr.G, side))
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := &Problem{}
+	if p.Run() != 0 {
+		t.Fatal("empty problem produced gain")
+	}
+}

@@ -1,0 +1,40 @@
+package refine
+
+import "repro/internal/graph"
+
+// BuildSubproblem assembles an FM Problem over the free vertices of g.
+// sideOf must return the current side (0 or 1) for any free vertex and
+// for any neighbour of a free vertex; neighbours that are not free are
+// folded into the locked external weights. It returns the problem and
+// the vertex ids aligned with problem indices.
+func BuildSubproblem(g *graph.Graph, free []int32, sideOf func(int32) int8, sideW [2]int64, totalW int64, tol float64, passes int) (*Problem, []int32) {
+	local := make(map[int32]int32, len(free))
+	for i, id := range free {
+		local[id] = int32(i)
+	}
+	p := &Problem{
+		Adj:       make([][]Arc, len(free)),
+		Ext:       make([][2]int64, len(free)),
+		VW:        make([]int64, len(free)),
+		Side:      make([]int8, len(free)),
+		SideW:     sideW,
+		TotalW:    totalW,
+		Tol:       tol,
+		MaxPasses: passes,
+	}
+	for i, id := range free {
+		p.VW[i] = int64(g.VertexWeight(id))
+		p.Side[i] = sideOf(id)
+		for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
+			nb := g.Adjncy[k]
+			w := int64(g.ArcWeight(k))
+			if li, ok := local[nb]; ok {
+				p.Adj[i] = append(p.Adj[i], Arc{To: li, W: w})
+			} else {
+				p.Ext[i][sideOf(nb)] += w
+			}
+		}
+	}
+	ids := append([]int32(nil), free...)
+	return p, ids
+}
