@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/baseline"
@@ -41,8 +42,18 @@ func main() {
 		seed   = flag.Int64("seed", 42, "random seed")
 		out    = flag.String("out", "", "write per-vertex part ids to this file")
 		list   = flag.Bool("list", false, "list built-in graphs and exit")
+		fault  = flag.String("fault", "", "inject faults: comma-separated kill:R@E | drop:R@E | delay:R@E+SECS | trunc:R@E")
 	)
 	flag.Parse()
+	model := mpi.DefaultModel()
+	if *fault != "" {
+		plan, err := parseFaultPlan(*fault)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			os.Exit(1)
+		}
+		model.Faults = plan
+	}
 	if *list {
 		for _, e := range gen.SuiteEntries() {
 			fmt.Println(e.Name)
@@ -65,24 +76,58 @@ func main() {
 	var part []int32
 	var cut int64
 	var timeS, imb float64
+	fallback := false
+	// retrySequential retries a failed parallel run with the sequential
+	// baseline partitioner, printing the rank diagnostic first. The
+	// fallback result is clearly flagged; a healthy run is never touched.
+	retrySequential := func(runErr error) *core.Result {
+		fmt.Fprintf(os.Stderr, "scalapart: WARNING: parallel run failed: %v\n", runErr)
+		fmt.Fprintf(os.Stderr, "scalapart: WARNING: retrying with the sequential baseline partitioner\n")
+		res, err := core.SequentialFallback(g, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			os.Exit(1)
+		}
+		fallback = true
+		return res
+	}
 	switch *method {
 	case "ScalaPart":
-		res := core.Partition(g, *p, core.DefaultOptions(*seed))
+		opt := core.DefaultOptions(*seed)
+		opt.Model = model
+		res, runErr := core.PartitionChecked(g, *p, opt)
+		if runErr != nil {
+			res = retrySequential(runErr)
+		} else {
+			fmt.Printf("phases: coarsen %.4fs  embed %.4fs  partition %.4fs (strip %d vertices)\n",
+				res.Times.Coarsen, res.Times.Embed, res.Times.Partition, res.StripSize)
+		}
 		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Times.Total
-		fmt.Printf("phases: coarsen %.4fs  embed %.4fs  partition %.4fs (strip %d vertices)\n",
-			res.Times.Coarsen, res.Times.Embed, res.Times.Partition, res.StripSize)
 	case "SP-PG7-NL":
-		res := core.PartitionGeometric(g, coords, *p, geopart.DefaultParallelConfig(), mpi.DefaultModel())
+		res, runErr := core.PartitionGeometricChecked(g, coords, *p, geopart.DefaultParallelConfig(), model)
+		if runErr != nil {
+			res = retrySequential(runErr)
+		}
 		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Times.Total
 	case "RCB":
-		res := core.RCBParallel(g, coords, *p, mpi.DefaultModel())
+		res, runErr := core.RCBParallelChecked(g, coords, *p, model)
+		if runErr != nil {
+			res = retrySequential(runErr)
+		}
 		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Times.Total
-	case "ParMetis":
-		res := baseline.Partition(g, *p, baseline.ParMetisLike(*seed))
-		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Total
-	case "Pt-Scotch":
-		res := baseline.Partition(g, *p, baseline.PtScotchLike(*seed))
-		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Total
+	case "ParMetis", "Pt-Scotch":
+		cfg := baseline.ParMetisLike(*seed)
+		if *method == "Pt-Scotch" {
+			cfg = baseline.PtScotchLike(*seed)
+		}
+		cfg.Model = model
+		res, runErr := baseline.PartitionChecked(g, *p, cfg)
+		if runErr != nil {
+			cres := retrySequential(runErr)
+			part, cut, imb, timeS = cres.Part, cres.Cut, cres.Imbalance, cres.Times.Total
+		} else {
+			part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Total
+		}
 	case "G30", "G7", "G7-NL":
 		cfg := geopart.G30()
 		if *method == "G7" {
@@ -93,7 +138,11 @@ func main() {
 		}
 		cfg.Seed = *seed
 		var st geopart.Stats
-		part, st = geopart.Partition(g, coords, cfg)
+		part, st, err = geopart.Partition(g, coords, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			os.Exit(1)
+		}
 		cut, imb = st.Cut, st.Imbalance
 	default:
 		fmt.Fprintf(os.Stderr, "scalapart: unknown method %q\n", *method)
@@ -103,6 +152,9 @@ func main() {
 	if timeS > 0 {
 		fmt.Printf("  modeled-time=%.4fs", timeS)
 	}
+	if fallback {
+		fmt.Printf("  [sequential fallback]")
+	}
 	fmt.Println()
 	if *out != "" {
 		if err := writeParts(*out, part); err != nil {
@@ -111,6 +163,59 @@ func main() {
 		}
 		fmt.Printf("partition written to %s\n", *out)
 	}
+}
+
+// parseFaultPlan parses the -fault flag: comma-separated specs of the
+// form "kill:R@E", "drop:R@E", "delay:R@E+SECS", or "trunc:R@E", where
+// R is the rank and E the 0-based index of the rank's communication
+// event the fault fires at.
+func parseFaultPlan(spec string) (*mpi.FaultPlan, error) {
+	plan := mpi.NewFaultPlan()
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		kind, rest, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault %q: want KIND:RANK@EVENT", item)
+		}
+		delay := 0.0
+		if kind == "delay" {
+			var dstr string
+			rest, dstr, ok = strings.Cut(rest, "+")
+			if !ok {
+				return nil, fmt.Errorf("fault %q: delay needs +SECS", item)
+			}
+			d, err := strconv.ParseFloat(dstr, 64)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault %q: bad delay %q", item, dstr)
+			}
+			delay = d
+		}
+		rstr, estr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("fault %q: want KIND:RANK@EVENT", item)
+		}
+		rank, err := strconv.Atoi(rstr)
+		if err != nil || rank < 0 {
+			return nil, fmt.Errorf("fault %q: bad rank %q", item, rstr)
+		}
+		event, err := strconv.ParseInt(estr, 10, 64)
+		if err != nil || event < 0 {
+			return nil, fmt.Errorf("fault %q: bad event %q", item, estr)
+		}
+		switch kind {
+		case "kill":
+			plan.Kill(rank, event)
+		case "drop":
+			plan.Drop(rank, event)
+		case "delay":
+			plan.Delay(rank, event, delay)
+		case "trunc":
+			plan.Truncate(rank, event)
+		default:
+			return nil, fmt.Errorf("fault %q: unknown kind %q (kill|drop|delay|trunc)", item, kind)
+		}
+	}
+	return plan, nil
 }
 
 func loadGraph(file, name string, scale float64) (*graph.Graph, []geometry.Vec2, error) {

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/gen"
 	"repro/internal/geopart"
@@ -20,7 +21,10 @@ func main() {
 		grid.G.NumVertices(), rgg.G.NumVertices())
 
 	for _, m := range []*gen.Generated3D{grid, rgg} {
-		_, sph := geopart.Partition3D(m.G, m.Coords, geopart.G30())
+		_, sph, err := geopart.Partition3D(m.G, m.Coords, geopart.G30())
+		if err != nil {
+			log.Fatal(err)
+		}
 		_, rcb := geopart.RCBBisect3D(m.G, m.Coords)
 		fmt.Printf("%-8s sphere separator: cut %5d (imb %.3f, %s)\n",
 			m.Name, sph.Cut, sph.Imbalance, sph.BestKind)
@@ -29,7 +33,10 @@ func main() {
 	}
 
 	// 8-way 3-D RCB for a full octree-style distribution.
-	part := geopart.RCB3D(grid.G, grid.Coords, 8)
+	part, err := geopart.RCB3D(grid.G, grid.Coords, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	w := graph.PartWeights(grid.G, part, 8)
 	fmt.Printf("8-way RCB3D on the grid: cut %d, part weights %v\n",
 		graph.CutSize(grid.G, part), w)

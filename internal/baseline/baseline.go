@@ -19,6 +19,7 @@
 package baseline
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -91,8 +92,20 @@ type Result struct {
 }
 
 // Partition bisects g on p simulated ranks with the configured
-// multilevel baseline.
+// multilevel baseline. It panics if a rank fails; use PartitionChecked
+// to receive the failure as an error.
 func Partition(g *graph.Graph, p int, cfg Config) *Result {
+	res, err := PartitionChecked(g, p, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("baseline: %v", err))
+	}
+	return res
+}
+
+// PartitionChecked is Partition with structured error reporting: a rank
+// failure comes back as an *mpi.RankError instead of crashing the
+// caller.
+func PartitionChecked(g *graph.Graph, p int, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	h := coarsen.BuildHierarchy(g, p, coarsen.Options{
 		CoarsestSize:  cfg.CoarsestSize,
@@ -108,10 +121,13 @@ func Partition(g *graph.Graph, p int, cfg Config) *Result {
 		sides[li] = make([]int8, lev.G.NumVertices())
 	}
 	totalW := g.TotalVertexWeight()
-	stats := mpi.Run(p, cfg.Model, func(c *mpi.Comm) {
+	stats, err := mpi.RunChecked(p, cfg.Model, func(c *mpi.Comm) {
+		c.SetPhase("coarsen")
 		coarsen.ChargeCosts(c, h, boundary, cfg.NegotiationRounds, 1)
 		last := len(h.Levels) - 1
+		c.SetPhase("initial-bisect")
 		initialBisect(c, h.Levels[last].G, sides[last], cfg)
+		c.SetPhase("refine")
 		for li := last; li >= 0; li-- {
 			lev := &h.Levels[li]
 			if li != last {
@@ -120,6 +136,9 @@ func Partition(g *graph.Graph, p int, cfg Config) *Result {
 			refineLevel(c, lev, sides[li], totalW, cfg, boundary[li])
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	part := make([]int32, g.NumVertices())
 	for v, s := range sides[0] {
 		part[v] = int32(s)
@@ -132,7 +151,7 @@ func Partition(g *graph.Graph, p int, cfg Config) *Result {
 		Total:     mpi.MaxTime(stats),
 		Comm:      mpi.MaxCommTime(stats),
 		Stats:     stats,
-	}
+	}, nil
 }
 
 // initialBisect computes the coarsest bisection on rank 0 (greedy graph

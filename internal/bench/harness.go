@@ -43,6 +43,7 @@ type Run struct {
 	CommTime  float64
 	Times     core.PhaseTimes // phase breakdown (ScalaPart runs)
 	StripSize int
+	Fallback  bool // the parallel run failed; this is the sequential recovery result
 }
 
 type runKey struct {
@@ -168,6 +169,22 @@ func (h *Harness) Get(graphName, method string, p int) *Run {
 	return r
 }
 
+// fallbackRun completes a run whose parallel execution failed: the
+// diagnostic is logged and the sequential baseline partitioner supplies
+// the partition, clearly flagged so tables never silently mix degraded
+// and healthy results.
+func (h *Harness) fallbackRun(run *Run, g *gen.Generated, seed int64, runErr error) *Run {
+	h.logf("  FAILED: %v", runErr)
+	h.logf("  falling back to the sequential baseline partitioner")
+	res, err := core.SequentialFallback(g.G, seed)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	run.Cut, run.Imbalance = res.Cut, res.Imbalance
+	run.Fallback = true
+	return run
+}
+
 func (h *Harness) compute(graphName, method string, p int) *Run {
 	g := h.Graph(graphName)
 	seed := seedOf(graphName)
@@ -175,26 +192,41 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 	h.logf("run %-10s %-18s P=%-5d", method, graphName, p)
 	switch method {
 	case MethodSP:
-		res := core.Partition(g.G, p, core.DefaultOptions(seed))
+		opt := core.DefaultOptions(seed)
+		opt.Model = h.Model
+		res, err := core.PartitionChecked(g.G, p, opt)
+		if err != nil {
+			return h.fallbackRun(run, g, seed, err)
+		}
 		run.Cut, run.Imbalance = res.Cut, res.Imbalance
 		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
 		run.Times = res.Times
 		run.StripSize = res.StripSize
 	case MethodSPPG:
-		res := core.PartitionGeometric(g.G, h.HuCoords(graphName), p, geopart.DefaultParallelConfig(), h.Model)
+		res, err := core.PartitionGeometricChecked(g.G, h.HuCoords(graphName), p, geopart.DefaultParallelConfig(), h.Model)
+		if err != nil {
+			return h.fallbackRun(run, g, seed, err)
+		}
 		run.Cut, run.Imbalance = res.Cut, res.Imbalance
 		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
 		run.StripSize = res.StripSize
 	case MethodRCB:
-		res := core.RCBParallel(g.G, h.HuCoords(graphName), p, h.Model)
+		res, err := core.RCBParallelChecked(g.G, h.HuCoords(graphName), p, h.Model)
+		if err != nil {
+			return h.fallbackRun(run, g, seed, err)
+		}
 		run.Cut, run.Imbalance = res.Cut, res.Imbalance
 		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
-	case MethodPM:
-		res := baseline.Partition(g.G, p, baseline.ParMetisLike(seed))
-		run.Cut, run.Imbalance = res.Cut, res.Imbalance
-		run.Time, run.CommTime = res.Total, res.Comm
-	case MethodPTS:
-		res := baseline.Partition(g.G, p, baseline.PtScotchLike(seed))
+	case MethodPM, MethodPTS:
+		cfg := baseline.ParMetisLike(seed)
+		if method == MethodPTS {
+			cfg = baseline.PtScotchLike(seed)
+		}
+		cfg.Model = h.Model
+		res, err := baseline.PartitionChecked(g.G, p, cfg)
+		if err != nil {
+			return h.fallbackRun(run, g, seed, err)
+		}
 		run.Cut, run.Imbalance = res.Cut, res.Imbalance
 		run.Time, run.CommTime = res.Total, res.Comm
 	case MethodG30, MethodG7, MethodG7NL:
@@ -208,7 +240,10 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 			cfg = geopart.G7NL()
 		}
 		cfg.Seed = seed
-		_, st := geopart.Partition(g.G, h.HuCoords(graphName), cfg)
+		_, st, err := geopart.Partition(g.G, h.HuCoords(graphName), cfg)
+		if err != nil {
+			panic("bench: " + err.Error()) // harness-built coords always match
+		}
 		run.Cut, run.Imbalance = st.Cut, st.Imbalance
 	case MethodRCBSeq:
 		_, st := geopart.RCBBisect(g.G, h.HuCoords(graphName))

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/mpi"
 )
 
 var (
@@ -108,6 +110,25 @@ func TestAblationsRender(t *testing.T) {
 		if !strings.Contains(out, "cut") {
 			t.Fatalf("%s: no cut column", name)
 		}
+	}
+}
+
+// TestHarnessFallbackOnFault: a harness whose model kills a rank must
+// still deliver a valid run, flagged as the sequential fallback.
+func TestHarnessFallbackOnFault(t *testing.T) {
+	h := New(0.03, []int{8})
+	var log strings.Builder
+	h.Out = &log
+	h.Model.Faults = mpi.NewFaultPlan().Kill(2, 5)
+	r := h.Get("ecology1", MethodSP, 8)
+	if !r.Fallback {
+		t.Fatalf("run not flagged as fallback: %+v", r)
+	}
+	if r.Cut <= 0 || r.Imbalance > 0.1 {
+		t.Fatalf("fallback partition implausible: cut=%d imb=%v", r.Cut, r.Imbalance)
+	}
+	if msg := log.String(); !strings.Contains(msg, "FAILED") || !strings.Contains(msg, "rank 2") {
+		t.Fatalf("diagnostic not logged:\n%s", msg)
 	}
 }
 

@@ -13,6 +13,9 @@
 package core
 
 import (
+	"fmt"
+
+	"repro/internal/baseline"
 	"repro/internal/coarsen"
 	"repro/internal/embed"
 	"repro/internal/geometry"
@@ -66,11 +69,25 @@ type Result struct {
 	P         int
 	Times     PhaseTimes
 	Stats     []mpi.RankStats
+	Fallback  bool // true when the result comes from SequentialFallback
 }
 
 // Partition runs ScalaPart on p simulated ranks and returns the global
-// bisection with its modeled timing breakdown.
+// bisection with its modeled timing breakdown. It panics if a rank
+// fails; use PartitionChecked to receive the failure as an error.
 func Partition(g *graph.Graph, p int, opt Options) *Result {
+	res, err := PartitionChecked(g, p, opt)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return res
+}
+
+// PartitionChecked is Partition with structured error reporting: a rank
+// failure (panic, injected fault, or watchdog-detected deadlock) comes
+// back as an *mpi.RankError naming the rank and pipeline phase instead
+// of crashing the caller.
+func PartitionChecked(g *graph.Graph, p int, opt Options) (*Result, error) {
 	if opt.Model == (mpi.Model{}) {
 		opt.Model = mpi.DefaultModel()
 	}
@@ -91,16 +108,19 @@ func Partition(g *graph.Graph, p int, opt Options) *Result {
 	var cut, cutBefore int64
 	var imb float64
 	var strip int
-	stats := mpi.Run(p, opt.Model, func(c *mpi.Comm) {
+	stats, err := mpi.RunChecked(p, opt.Model, func(c *mpi.Comm) {
 		t := &times[c.Rank()]
+		c.SetPhase("coarsen")
 		ph := c.StartPhase()
 		coarsen.ChargeCosts(c, h, boundary, opt.CoarsenRounds, 2)
 		t.Coarsen, t.CoarsenComm = ph.Stop()
 
+		c.SetPhase("embed")
 		ph = c.StartPhase()
 		d := embed.ParallelEmbed(c, h, opt.Embed)
 		t.Embed, t.EmbedComm = ph.Stop()
 
+		c.SetPhase("partition")
 		ph = c.StartPhase()
 		res := geopart.ParallelPartition(c, g, d, opt.Partition)
 		t.Partition, t.PartitionComm = ph.Stop()
@@ -118,6 +138,9 @@ func Partition(g *graph.Graph, p int, opt Options) *Result {
 			strip = res.StripSize
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Part:      part,
 		Cut:       cut,
@@ -127,7 +150,30 @@ func Partition(g *graph.Graph, p int, opt Options) *Result {
 		P:         p,
 		Times:     maxTimes(times),
 		Stats:     stats,
+	}, nil
+}
+
+// SequentialFallback partitions g with the single-rank ParMetis-like
+// baseline under a pristine cost model (no fault plan, no watchdog),
+// the recovery path drivers use after a parallel run fails. The result
+// is flagged Fallback so reports cannot silently mix degraded runs
+// with healthy ones.
+func SequentialFallback(g *graph.Graph, seed int64) (*Result, error) {
+	cfg := baseline.ParMetisLike(seed)
+	cfg.Model = mpi.DefaultModel() // never inherit faults into the recovery path
+	res, err := baseline.PartitionChecked(g, 1, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sequential fallback failed: %w", err)
 	}
+	return &Result{
+		Part:      res.Part,
+		Cut:       res.Cut,
+		Imbalance: res.Imbalance,
+		P:         1,
+		Times:     PhaseTimes{Total: res.Total, TotalComm: res.Comm},
+		Stats:     res.Stats,
+		Fallback:  true,
+	}, nil
 }
 
 // PartitionGeometric runs only the parallel geometric partitioner
@@ -136,6 +182,16 @@ func Partition(g *graph.Graph, p int, opt Options) *Result {
 // assumed already distributed, so only partitioning and refinement are
 // timed.
 func PartitionGeometric(g *graph.Graph, coords []geometry.Vec2, p int, cfg geopart.ParallelConfig, model mpi.Model) *Result {
+	res, err := PartitionGeometricChecked(g, coords, p, cfg, model)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return res
+}
+
+// PartitionGeometricChecked is PartitionGeometric with structured error
+// reporting instead of panics.
+func PartitionGeometricChecked(g *graph.Graph, coords []geometry.Vec2, p int, cfg geopart.ParallelConfig, model mpi.Model) (*Result, error) {
 	if model == (mpi.Model{}) {
 		model = mpi.DefaultModel()
 	}
@@ -145,7 +201,8 @@ func PartitionGeometric(g *graph.Graph, coords []geometry.Vec2, p int, cfg geopa
 	var cut, cutBefore int64
 	var imb float64
 	var strip int
-	stats := mpi.Run(p, model, func(c *mpi.Comm) {
+	stats, err := mpi.RunChecked(p, model, func(c *mpi.Comm) {
+		c.SetPhase("partition")
 		ph := c.StartPhase()
 		res := geopart.ParallelPartition(c, g, views[c.Rank()], cfg)
 		t := &times[c.Rank()]
@@ -160,16 +217,29 @@ func PartitionGeometric(g *graph.Graph, coords []geometry.Vec2, p int, cfg geopa
 			strip = res.StripSize
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Part: part, Cut: cut, CutBefore: cutBefore, Imbalance: imb,
 		StripSize: strip, P: p, Times: maxTimes(times), Stats: stats,
-	}
+	}, nil
 }
 
 // RCBParallel times Zoltan-style parallel recursive coordinate
 // bisection on pre-existing coordinates, the paper's scalability
 // yardstick.
 func RCBParallel(g *graph.Graph, coords []geometry.Vec2, p int, model mpi.Model) *Result {
+	res, err := RCBParallelChecked(g, coords, p, model)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return res
+}
+
+// RCBParallelChecked is RCBParallel with structured error reporting
+// instead of panics.
+func RCBParallelChecked(g *graph.Graph, coords []geometry.Vec2, p int, model mpi.Model) (*Result, error) {
 	if model == (mpi.Model{}) {
 		model = mpi.DefaultModel()
 	}
@@ -178,7 +248,8 @@ func RCBParallel(g *graph.Graph, coords []geometry.Vec2, p int, model mpi.Model)
 	times := make([]PhaseTimes, p)
 	var cut int64
 	var imb float64
-	stats := mpi.Run(p, model, func(c *mpi.Comm) {
+	stats, err := mpi.RunChecked(p, model, func(c *mpi.Comm) {
+		c.SetPhase("rcb")
 		ph := c.StartPhase()
 		res := geopart.ParallelRCB(c, g, views[c.Rank()])
 		t := &times[c.Rank()]
@@ -192,10 +263,13 @@ func RCBParallel(g *graph.Graph, coords []geometry.Vec2, p int, model mpi.Model)
 			imb = res.Imbalance
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Part: part, Cut: cut, CutBefore: cut, Imbalance: imb,
 		P: p, Times: maxTimes(times), Stats: stats,
-	}
+	}, nil
 }
 
 // maxTimes reduces per-rank phase times to their maxima, the modeled

@@ -1,6 +1,7 @@
 package geopart
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -16,14 +17,14 @@ import (
 // through the origin) become candidate separators. Line separators use
 // random directions in R³. The Gilbert–Miller–Teng guarantees cover
 // well-shaped 3-D meshes with O(n^{2/3}) separators.
-func Partition3D(g *graph.Graph, coords []geometry.Vec3, cfg Config) ([]int32, Stats) {
+func Partition3D(g *graph.Graph, coords []geometry.Vec3, cfg Config) ([]int32, Stats, error) {
 	cfg = cfg.withDefaults()
 	n := g.NumVertices()
 	if len(coords) != n {
-		panic("geopart: coordinate count mismatch")
+		return nil, Stats{}, fmt.Errorf("geopart: Partition3D got %d coordinates for %d vertices", len(coords), n)
 	}
 	if n == 1 {
-		return []int32{0}, Stats{}
+		return []int32{0}, Stats{}, nil
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	norm := normalize3(coords)
@@ -90,7 +91,7 @@ func Partition3D(g *graph.Graph, coords []geometry.Vec3, cfg Config) ([]int32, S
 		best = Stats{Cut: graph.CutSize(g, bestPart), Imbalance: graph.Imbalance(g, bestPart, 2)}
 	}
 	best.Tries = tries
-	return bestPart, best
+	return bestPart, best, nil
 }
 
 // normalize3 centers 3-D coordinates on their centroid and scales so
@@ -157,10 +158,15 @@ func RCBBisect3D(g *graph.Graph, coords []geometry.Vec3) ([]int32, Stats) {
 }
 
 // RCB3D recursively bisects g into parts pieces (a power of two) by
-// 3-D coordinate medians, always splitting the widest extent.
-func RCB3D(g *graph.Graph, coords []geometry.Vec3, parts int) []int32 {
+// 3-D coordinate medians, always splitting the widest extent. It
+// returns an error for an invalid part count or a coordinate array
+// that does not match the graph.
+func RCB3D(g *graph.Graph, coords []geometry.Vec3, parts int) ([]int32, error) {
 	if parts < 1 || parts&(parts-1) != 0 {
-		panic("geopart: RCB3D part count must be a power of two")
+		return nil, fmt.Errorf("geopart: RCB3D part count %d must be a power of two", parts)
+	}
+	if len(coords) != g.NumVertices() {
+		return nil, fmt.Errorf("geopart: RCB3D got %d coordinates for %d vertices", len(coords), g.NumVertices())
 	}
 	part := make([]int32, g.NumVertices())
 	idx := make([]int32, g.NumVertices())
@@ -168,7 +174,7 @@ func RCB3D(g *graph.Graph, coords []geometry.Vec3, parts int) []int32 {
 		idx[i] = int32(i)
 	}
 	rcb3Split(coords, idx, part, 0, parts)
-	return part
+	return part, nil
 }
 
 func rcb3Split(coords []geometry.Vec3, idx []int32, part []int32, base int32, parts int) {

@@ -11,7 +11,10 @@ import (
 // edges; the geometric partitioner should land within ~2.5x.
 func TestPartition3DGrid(t *testing.T) {
 	g := gen.Grid3D(16, 16, 16)
-	part, st := Partition3D(g.G, g.Coords, G30())
+	part, st, err := Partition3D(g.G, g.Coords, G30())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := graph.CutSize(g.G, part); got != st.Cut {
 		t.Fatalf("reported %d actual %d", st.Cut, got)
 	}
@@ -25,7 +28,10 @@ func TestPartition3DGrid(t *testing.T) {
 
 func TestPartition3DBeatsRandomOnRGG(t *testing.T) {
 	g := gen.RandomGeometric3D(6000, 0.08, 3)
-	_, st := Partition3D(g.G, g.Coords, G7())
+	_, st, err := Partition3D(g.G, g.Coords, G7())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Cut <= 0 || int64(st.Cut) > int64(g.G.NumEdges())/4 {
 		t.Fatalf("cut %d of %d edges: geometric structure not exploited", st.Cut, g.G.NumEdges())
 	}
@@ -47,7 +53,10 @@ func TestRCBBisect3DExactOnGrid(t *testing.T) {
 // straight axis cut.
 func TestPartition3DOnElongated(t *testing.T) {
 	g := gen.Grid3D(6, 6, 60)
-	_, sph := Partition3D(g.G, g.Coords, G30())
+	_, sph, err := Partition3D(g.G, g.Coords, G30())
+	if err != nil {
+		t.Fatal(err)
+	}
 	_, rcb := RCBBisect3D(g.G, g.Coords)
 	// Optimal is a 6x6=36-edge z-plane; both should find ~that.
 	if sph.Cut > 3*rcb.Cut {
@@ -57,7 +66,10 @@ func TestPartition3DOnElongated(t *testing.T) {
 
 func TestRCB3DKWayBalanced(t *testing.T) {
 	g := gen.Grid3D(8, 8, 8)
-	part := RCB3D(g.G, g.Coords, 8)
+	part, err := RCB3D(g.G, g.Coords, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := graph.PartWeights(g.G, part, 8)
 	for i, wi := range w {
 		if wi != 64 {

@@ -18,6 +18,7 @@
 package geopart
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -96,15 +97,16 @@ func normalize(coords []geometry.Vec2) []geometry.Vec2 {
 
 // Partition bisects g using the geometric mesh partitioning scheme on
 // the given vertex coordinates. It returns the part assignment (0/1)
-// and statistics of the best separator found.
-func Partition(g *graph.Graph, coords []geometry.Vec2, cfg Config) ([]int32, Stats) {
+// and statistics of the best separator found, or an error when the
+// coordinate array does not match the graph.
+func Partition(g *graph.Graph, coords []geometry.Vec2, cfg Config) ([]int32, Stats, error) {
 	cfg = cfg.withDefaults()
 	n := g.NumVertices()
 	if len(coords) != n {
-		panic("geopart: coordinate count mismatch")
+		return nil, Stats{}, fmt.Errorf("geopart: Partition got %d coordinates for %d vertices", len(coords), n)
 	}
 	if n == 1 {
-		return []int32{0}, Stats{}
+		return []int32{0}, Stats{}, nil
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	norm := normalize(coords)
@@ -176,7 +178,7 @@ func Partition(g *graph.Graph, coords []geometry.Vec2, cfg Config) ([]int32, Sta
 		best = Stats{Cut: graph.CutSize(g, bestPart), Imbalance: graph.Imbalance(g, bestPart, 2)}
 	}
 	best.Tries = tries
-	return bestPart, best
+	return bestPart, best, nil
 }
 
 // bisectByValues assigns the floor(n/2) vertices with the smallest

@@ -17,7 +17,10 @@ import (
 func TestPartitionGridQuality(t *testing.T) {
 	g := gen.Grid2D(40, 40)
 	for _, cfg := range []Config{G30(), G7(), G7NL()} {
-		part, st := Partition(g.G, g.Coords, cfg)
+		part, st, err := Partition(g.G, g.Coords, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got := graph.CutSize(g.G, part); got != st.Cut {
 			t.Fatalf("reported %d actual %d", st.Cut, got)
 		}
@@ -36,8 +39,11 @@ func TestG30NotWorseOnAverage(t *testing.T) {
 	var g30Sum, g7Sum int64
 	for seed := int64(1); seed <= 4; seed++ {
 		g := gen.DelaunayRandom(3000, seed)
-		_, s30 := Partition(g.G, g.Coords, G30())
-		_, s7 := Partition(g.G, g.Coords, G7NL())
+		_, s30, err30 := Partition(g.G, g.Coords, G30())
+		_, s7, err7 := Partition(g.G, g.Coords, G7NL())
+		if err30 != nil || err7 != nil {
+			t.Fatal(err30, err7)
+		}
 		g30Sum += s30.Cut
 		g7Sum += s7.Cut
 	}
@@ -59,7 +65,10 @@ func TestRCBBisectExactOnGrid(t *testing.T) {
 
 func TestRCBKWay(t *testing.T) {
 	g := gen.Grid2D(16, 16)
-	part := RCB(g.G, g.Coords, 4)
+	part, err := RCB(g.G, g.Coords, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := graph.PartWeights(g.G, part, 4)
 	for i, wi := range w {
 		if wi != 64 {
@@ -89,7 +98,10 @@ func TestBisectByValuesTies(t *testing.T) {
 // medians and sampled centerpoints differ).
 func TestParallelCloseToSequential(t *testing.T) {
 	g := gen.DelaunayRandom(6000, 2)
-	_, seq := Partition(g.G, g.Coords, G7NL())
+	_, seq, err := Partition(g.G, g.Coords, G7NL())
+	if err != nil {
+		t.Fatal(err)
+	}
 	views := embed.SplitCoords(g.G, g.Coords, 4)
 	cfg := ParallelConfig{Config: G7NL()}
 	var cut int64
@@ -224,12 +236,18 @@ func TestConfigDefaults(t *testing.T) {
 func TestPartitionSingleVertexAndTiny(t *testing.T) {
 	b := graph.NewBuilder(1)
 	g := b.Build()
-	part, st := Partition(g, []geometry.Vec2{{X: 0, Y: 0}}, G7NL())
+	part, st, err := Partition(g, []geometry.Vec2{{X: 0, Y: 0}}, G7NL())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(part) != 1 || st.Cut != 0 {
 		t.Fatalf("single vertex: %v %+v", part, st)
 	}
 	g2 := gen.Grid2D(2, 2)
-	part2, st2 := Partition(g2.G, g2.Coords, G7NL())
+	part2, st2, err := Partition(g2.G, g2.Coords, G7NL())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if graph.CutSize(g2.G, part2) != st2.Cut {
 		t.Fatal("tiny grid cut mismatch")
 	}

@@ -1,6 +1,8 @@
 package geopart
 
 import (
+	"fmt"
+
 	"repro/internal/geometry"
 	"repro/internal/graph"
 )
@@ -37,19 +39,23 @@ func RCBBisect(g *graph.Graph, coords []geometry.Vec2) ([]int32, Stats) {
 
 // RCB recursively bisects g into parts pieces (parts must be a power of
 // two) by coordinate medians, alternating with the wider extent at each
-// level. It returns the part assignment.
-func RCB(g *graph.Graph, coords []geometry.Vec2, parts int) []int32 {
+// level. It returns the part assignment, or an error for an invalid
+// part count or a coordinate array that does not match the graph.
+func RCB(g *graph.Graph, coords []geometry.Vec2, parts int) ([]int32, error) {
 	if parts < 1 || parts&(parts-1) != 0 {
-		panic("geopart: RCB part count must be a power of two")
+		return nil, fmt.Errorf("geopart: RCB part count %d must be a power of two", parts)
 	}
 	n := g.NumVertices()
+	if len(coords) != n {
+		return nil, fmt.Errorf("geopart: RCB got %d coordinates for %d vertices", len(coords), n)
+	}
 	part := make([]int32, n)
 	idx := make([]int32, n)
 	for i := range idx {
 		idx[i] = int32(i)
 	}
 	rcbSplit(coords, idx, part, 0, parts)
-	return part
+	return part, nil
 }
 
 // rcbSplit assigns part ids [base, base+parts) to the vertices idx.

@@ -12,8 +12,11 @@ import (
 func TestSSDEPartitionQuality(t *testing.T) {
 	g := gen.DelaunayRandom(4000, 6)
 	ssde := embed.SSDELayout(g.G, embed.SSDEOptions{Seed: 3})
-	_, sSSDE := Partition(g.G, ssde, G7NL())
-	_, sNat := Partition(g.G, g.Coords, G7NL())
+	_, sSSDE, errS := Partition(g.G, ssde, G7NL())
+	_, sNat, errN := Partition(g.G, g.Coords, G7NL())
+	if errS != nil || errN != nil {
+		t.Fatal(errS, errN)
+	}
 	if sSSDE.Cut > 4*sNat.Cut {
 		t.Fatalf("SSDE cut %d vs natural %d", sSSDE.Cut, sNat.Cut)
 	}

@@ -89,6 +89,14 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 		}
 	}
 	b := NewBuilder(n)
+	// Each undirected edge must appear twice in a METIS file, once from
+	// each endpoint. Record every directed entry (in file order, for
+	// deterministic error reporting) so the adjacency can be checked for
+	// self-loops, duplicates, and asymmetry — the structural defects that
+	// otherwise surface much later as partitioner invariant violations.
+	type dirEdge struct{ from, to int32 }
+	seen := make(map[dirEdge]int32, 2*m)
+	order := make([]dirEdge, 0, 2*m)
 	for v := 0; v < n; v++ {
 		line, err := nextDataLine(sc)
 		if err != nil {
@@ -125,13 +133,36 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 				i++
 			}
 			if u < 1 || u > n {
-				return nil, fmt.Errorf("graph: METIS vertex %d: neighbour %d out of range", v+1, u)
+				return nil, fmt.Errorf("graph: METIS vertex %d: neighbour %d out of range [1,%d]", v+1, u, n)
 			}
+			if u-1 == v {
+				return nil, fmt.Errorf("graph: METIS vertex %d: self-loop", v+1)
+			}
+			e := dirEdge{int32(v), int32(u - 1)}
+			if _, dup := seen[e]; dup {
+				return nil, fmt.Errorf("graph: METIS vertex %d: duplicate neighbour %d", v+1, u)
+			}
+			seen[e] = int32(w)
+			order = append(order, e)
 			// Each undirected edge appears twice in the file; add it
 			// once, from its lower endpoint.
 			if int32(u-1) > int32(v) {
 				b.AddWeightedEdge(int32(v), int32(u-1), int32(w))
 			}
+		}
+	}
+	// Symmetry: every directed entry needs its mirror, with the same
+	// weight when the file carries edge weights. Checking in file order
+	// makes the reported offender deterministic.
+	for _, e := range order {
+		wBack, ok := seen[dirEdge{e.to, e.from}]
+		if !ok {
+			return nil, fmt.Errorf("graph: METIS adjacency asymmetric: vertex %d lists %d but %d does not list %d",
+				e.from+1, e.to+1, e.to+1, e.from+1)
+		}
+		if hasEW && wBack != seen[e] {
+			return nil, fmt.Errorf("graph: METIS edge weight asymmetric: %d-%d has weights %d and %d",
+				e.from+1, e.to+1, seen[e], wBack)
 		}
 	}
 	g := b.Build()
@@ -219,7 +250,10 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 	if rows != cols {
 		return nil, fmt.Errorf("graph: MatrixMarket matrix is %dx%d, want square", rows, cols)
 	}
+	symmetric := strings.Contains(header, "symmetric")
 	b := NewBuilder(rows)
+	type cell struct{ i, j int32 }
+	entries := make(map[cell]struct{}, nnz)
 	for k := 0; k < nnz; k++ {
 		line, err := nextDataLine(sc)
 		if err != nil {
@@ -242,8 +276,15 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 			return nil, err
 		}
 		if i < 1 || i > rows || j < 1 || j > rows {
-			return nil, fmt.Errorf("graph: MatrixMarket entry (%d,%d) out of range", i, j)
+			return nil, fmt.Errorf("graph: MatrixMarket entry (%d,%d) out of range (matrix is %dx%d)", i, j, rows, rows)
 		}
+		if symmetric && i < j {
+			return nil, fmt.Errorf("graph: MatrixMarket entry (%d,%d) above the diagonal in a symmetric matrix", i, j)
+		}
+		if _, dup := entries[cell{int32(i), int32(j)}]; dup {
+			return nil, fmt.Errorf("graph: MatrixMarket duplicate entry (%d,%d)", i, j)
+		}
+		entries[cell{int32(i), int32(j)}] = struct{}{}
 		if i != j {
 			b.AddEdge(int32(i-1), int32(j-1))
 		}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func wantReadErr(t *testing.T, input, fragment string) {
+	t.Helper()
+	_, err := ReadMETIS(strings.NewReader(input))
+	if err == nil {
+		t.Fatalf("accepted malformed METIS input %q", input)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestReadMETISRejectsSelfLoop(t *testing.T) {
+	wantReadErr(t, "2 2\n1 2\n1\n", "self-loop")
+}
+
+func TestReadMETISRejectsOutOfRangeNeighbour(t *testing.T) {
+	wantReadErr(t, "2 1\n3\n1\n", "out of range")
+	wantReadErr(t, "2 1\n0\n1\n", "out of range")
+}
+
+func TestReadMETISRejectsAsymmetricAdjacency(t *testing.T) {
+	// Vertex 1 lists 3, but vertex 3 only lists 2: the reverse entry is
+	// missing. The error must name both endpoints, first in file order.
+	_, err := ReadMETIS(strings.NewReader("3 2\n2 3\n1\n2\n"))
+	if err == nil {
+		t.Fatal("accepted asymmetric adjacency")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "asymmetric") || !strings.Contains(msg, "vertex 1 lists 3") {
+		t.Fatalf("unhelpful asymmetry error: %q", msg)
+	}
+}
+
+func TestReadMETISRejectsDuplicateNeighbour(t *testing.T) {
+	wantReadErr(t, "2 1\n2 2\n1\n", "duplicate neighbour")
+}
+
+func TestReadMETISRejectsEdgeCountMismatch(t *testing.T) {
+	// Header claims 2 edges, the body has 1.
+	wantReadErr(t, "2 2\n2\n1\n", "does not match header")
+}
+
+func TestReadMETISRejectsAsymmetricEdgeWeights(t *testing.T) {
+	// 1-2 has weight 5 one way and 7 the other.
+	wantReadErr(t, "2 1 1\n2 5\n1 7\n", "weight asymmetric")
+}
+
+func TestReadMETISAcceptsValidWeightedGraph(t *testing.T) {
+	g, err := ReadMETIS(strings.NewReader("3 2 11\n4 2 5\n6 1 5 3 9\n2 2 9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.VWgt[0] != 4 || g.VWgt[1] != 6 || g.VWgt[2] != 2 {
+		t.Fatalf("vertex weights %v", g.VWgt)
+	}
+}
+
+func TestReadMatrixMarketRejectsDuplicateEntry(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n2 1\n"
+	if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-entry error, got %v", err)
+	}
+}
+
+func TestReadMatrixMarketRejectsUpperTriangleInSymmetric(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n1 2\n"
+	if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "above the diagonal") {
+		t.Fatalf("want upper-triangle error, got %v", err)
+	}
+}
+
+func TestReadMatrixMarketGeneralStillSymmetrises(t *testing.T) {
+	// A general matrix may carry both (i,j) and (j,i); that is not a
+	// duplicate, and the pair collapses to one undirected edge.
+	in := "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges %d, want 1", g.NumEdges())
+	}
+}

@@ -1,0 +1,208 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RankError is the structured failure RunChecked returns: which rank
+// failed, what algorithm phase it was in (see Comm.SetPhase), and the
+// underlying cause (a recovered panic, an *InjectedFault, a voluntary
+// Comm.Abort error, or a *DeadlockError from the watchdog).
+type RankError struct {
+	Rank  int
+	Phase string
+	Err   error
+}
+
+func (e *RankError) Error() string {
+	if e.Phase != "" {
+		return fmt.Sprintf("rank %d failed in phase %q: %v", e.Rank, e.Phase, e.Err)
+	}
+	return fmt.Sprintf("rank %d failed: %v", e.Rank, e.Err)
+}
+
+func (e *RankError) Unwrap() error { return e.Err }
+
+// RankWait is one rank's entry in a deadlock diagnostic dump.
+type RankWait struct {
+	Rank  int
+	Phase string  // last phase set via Comm.SetPhase
+	Clock float64 // virtual clock when the rank blocked (or finished)
+	State string  // "done", "running", or a description of the blocked op
+	Done  bool
+}
+
+// DeadlockError is the watchdog's diagnostic: the world made no
+// progress for a full watchdog window with every live rank blocked. It
+// lists, per rank, the virtual clock and what the rank is waiting on
+// and from whom.
+type DeadlockError struct {
+	Window time.Duration
+	Ranks  []RankWait
+}
+
+// Blocked returns the ranks that were blocked (not finished) when the
+// watchdog fired.
+func (e *DeadlockError) Blocked() []int {
+	var out []int
+	for _, r := range e.Ranks {
+		if !r.Done {
+			out = append(out, r.Rank)
+		}
+	}
+	return out
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	blocked := e.Blocked()
+	fmt.Fprintf(&b, "deadlock: no progress for %v, %d of %d ranks blocked", e.Window, len(blocked), len(e.Ranks))
+	for _, r := range e.Ranks {
+		fmt.Fprintf(&b, "\n  rank %d", r.Rank)
+		if r.Phase != "" {
+			fmt.Fprintf(&b, " [%s]", r.Phase)
+		}
+		fmt.Fprintf(&b, " @ %.6fs: %s", r.Clock, r.State)
+	}
+	return b.String()
+}
+
+// abortSignal is the panic value that tears a rank down after another
+// rank aborted the world; RunChecked swallows it silently.
+type abortSignal struct{}
+
+// Wait kinds for the watchdog's per-rank status.
+const (
+	waitRunning = iota // not blocked (nil waitInfo means the same)
+	waitRecv
+	waitSend
+	waitColl
+	waitDone
+)
+
+// waitInfo is an immutable snapshot of what a rank is blocked on,
+// published through an atomic pointer so the watchdog can read it
+// without racing the rank. A fresh waitInfo is allocated for every
+// blocking operation, so pointer identity across watchdog samples means
+// "still stuck in the same operation".
+type waitInfo struct {
+	kind  int
+	op    string // "Recv", "Send", "Bcast", "AllReduce", "HaloExchange", ...
+	peer  int    // partner rank for point-to-point ops, -1 otherwise
+	size  int    // communicator size for collectives
+	gen   int64  // collective generation being waited on
+	clock float64
+	phase string
+}
+
+func (wi *waitInfo) describe() string {
+	if wi == nil {
+		return "running"
+	}
+	switch wi.kind {
+	case waitDone:
+		return "done"
+	case waitRecv:
+		return fmt.Sprintf("blocked in %s from rank %d (no matching send)", wi.op, wi.peer)
+	case waitSend:
+		return fmt.Sprintf("blocked in %s to rank %d (inbox full)", wi.op, wi.peer)
+	case waitColl:
+		return fmt.Sprintf("blocked in collective %s over %d ranks (generation %d incomplete)", wi.op, wi.size, wi.gen)
+	}
+	return "running"
+}
+
+// DefaultWatchdogWindow is the stall window used when Model.Watchdog is
+// zero: if no rank makes progress for this long while every live rank
+// is blocked, the watchdog aborts the world with a DeadlockError.
+const DefaultWatchdogWindow = 2 * time.Second
+
+// watchdog polls rank states and aborts the world when it observes a
+// full window with every live rank blocked on the exact same operations
+// (pointer-identical waitInfos) and the global progress counter frozen.
+// Pointer identity makes false positives require a genuinely runnable
+// goroutine to be starved for the entire window across several polls,
+// which the Go scheduler does not do.
+func (w *World) watchdog(window time.Duration, stop <-chan struct{}) {
+	interval := window / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var prev []*waitInfo
+	var prevProgress int64 = -1
+	strikes := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if w.aborted.Load() {
+			return
+		}
+		cur := make([]*waitInfo, w.size)
+		blocked, done := 0, 0
+		for i, st := range w.ranks {
+			wi := st.wait.Load()
+			cur[i] = wi
+			if wi == nil {
+				continue
+			}
+			switch wi.kind {
+			case waitDone:
+				done++
+			default:
+				blocked++
+			}
+		}
+		progress := w.progress.Load()
+		stuck := blocked > 0 && blocked+done == w.size &&
+			progress == prevProgress && sameWaits(cur, prev)
+		if stuck {
+			strikes++
+		} else {
+			strikes = 0
+		}
+		prev, prevProgress = cur, progress
+		if strikes < 4 {
+			continue
+		}
+		// A full window elapsed with the world frozen: dump and abort.
+		dl := &DeadlockError{Window: window, Ranks: make([]RankWait, w.size)}
+		first := -1
+		for i, wi := range cur {
+			rw := RankWait{Rank: i, State: wi.describe()}
+			if wi != nil {
+				rw.Phase = wi.phase
+				rw.Clock = wi.clock
+				rw.Done = wi.kind == waitDone
+			}
+			if !rw.Done && first < 0 {
+				first = i
+			}
+			dl.Ranks[i] = rw
+		}
+		re := &RankError{Rank: first, Err: dl}
+		if first >= 0 && cur[first] != nil {
+			re.Phase = cur[first].phase
+		}
+		w.abort(re)
+		return
+	}
+}
+
+func sameWaits(a, b []*waitInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -24,7 +24,7 @@ func AllToAllV[T any](c *Comm, dest [][]T, bytesPerElem int) [][]T {
 		if r == c.Rank() || len(d) == 0 {
 			continue
 		}
-		c.Send(r, d, bytesPerElem*len(d))
+		c.sendOp(r, d, bytesPerElem*len(d), "AllToAllV")
 	}
 	out := make([][]T, p)
 	out[c.Rank()] = dest[c.Rank()]
@@ -32,7 +32,7 @@ func AllToAllV[T any](c *Comm, dest [][]T, bytesPerElem int) [][]T {
 		if r == c.Rank() || recvCounts[r] == 0 {
 			continue
 		}
-		out[r] = c.Recv(r).([]T)
+		out[r] = c.recvOp(r, "AllToAllV").([]T)
 	}
 	return out
 }
@@ -43,7 +43,7 @@ func AllToAllV[T any](c *Comm, dest [][]T, bytesPerElem int) [][]T {
 func exchangeCounts(c *Comm, counts []int32) []int32 {
 	m := c.Model()
 	cost := m.Latency*log2ceil(c.size) + m.PerByte*4*float64(c.size) + m.PerPeer*float64(c.size)
-	res := c.runCollective(counts, func(vals []any) any {
+	res := c.runCollective("AllToAllV.counts", counts, func(vals []any) any {
 		// vals[src][dst]: build the full matrix once; each rank
 		// extracts its column after the collective.
 		matrix := make([][]int32, len(vals))

@@ -11,7 +11,7 @@ package mpi
 func AllReduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 	m := c.Model()
 	cost := 2 * (m.Latency + m.PerByte*float64(bytes)) * log2ceil(c.size)
-	res := c.runCollective(val, func(vals []any) any {
+	res := c.runCollective("AllReduce", val, func(vals []any) any {
 		acc := vals[0].(T)
 		for _, v := range vals[1:] {
 			acc = op(acc, v.(T))
@@ -28,7 +28,7 @@ func AllReduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 func Reduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 	m := c.Model()
 	cost := (m.Latency + m.PerByte*float64(bytes)) * log2ceil(c.size)
-	res := c.runCollective(val, func(vals []any) any {
+	res := c.runCollective("Reduce", val, func(vals []any) any {
 		acc := vals[0].(T)
 		for _, v := range vals[1:] {
 			acc = op(acc, v.(T))
@@ -43,7 +43,7 @@ func Reduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 func AllReduceSlice[T any](c *Comm, vals []T, bytesPerElem int, op func(a, b T) T) []T {
 	m := c.Model()
 	cost := 2 * (m.Latency + m.PerByte*float64(bytesPerElem*len(vals))) * log2ceil(c.size)
-	res := c.runCollective(vals, func(contribs []any) any {
+	res := c.runCollective("AllReduceSlice", vals, func(contribs []any) any {
 		first := contribs[0].([]T)
 		acc := append([]T(nil), first...)
 		for _, cv := range contribs[1:] {
@@ -65,7 +65,7 @@ func AllReduceSlice[T any](c *Comm, vals []T, bytesPerElem int, op func(a, b T) 
 func AllGather[T any](c *Comm, val T, bytes int) []T {
 	m := c.Model()
 	cost := m.Latency*log2ceil(c.size) + m.PerByte*float64(bytes)*float64(c.size-1)
-	res := c.runCollective(val, func(vals []any) any {
+	res := c.runCollective("AllGather", val, func(vals []any) any {
 		out := make([]T, len(vals))
 		for i, v := range vals {
 			out[i] = v.(T)
@@ -88,7 +88,7 @@ func AllGatherV[T any](c *Comm, vals []T, bytesPerElem int) [][]T {
 	// of the local byte count, then the gather charged with the total.
 	total := AllReduce(c, len(vals)*bytesPerElem, 8, func(a, b int) int { return a + b })
 	cost := m.Latency*log2ceil(c.size) + m.PerByte*float64(total)
-	res := c.runCollective(vals, func(contribs []any) any {
+	res := c.runCollective("AllGatherV", vals, func(contribs []any) any {
 		out := make([][]T, len(contribs))
 		for i, v := range contribs {
 			out[i] = v.([]T)

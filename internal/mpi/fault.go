@@ -1,0 +1,149 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+)
+
+// FaultKind enumerates the deterministic faults a FaultPlan can inject
+// into a run.
+type FaultKind int
+
+const (
+	// KillRank makes the target rank panic with an *InjectedFault the
+	// moment it starts its Event-th communication operation, as if the
+	// process died mid-run. RunChecked converts the panic into a
+	// RankError and aborts the rest of the world.
+	KillRank FaultKind = iota + 1
+	// DropMessage silently discards the point-to-point message the
+	// target rank sends at its Event-th communication operation. The
+	// sender is charged the usual send overhead (the fault is on the
+	// wire, not in the sender), so clocks of unaffected ranks do not
+	// move; the receiver blocks until the watchdog declares a deadlock.
+	DropMessage
+	// DelayMessage adds Delay virtual seconds to the arrival time of the
+	// point-to-point message sent at the target rank's Event-th
+	// communication operation. Only the receiver's clock (and anything
+	// downstream of it) is perturbed.
+	DelayMessage
+	// TruncatePayload corrupts the payload the target rank contributes
+	// at its Event-th communication operation: slice payloads lose their
+	// second half, anything else becomes nil. Collectives that combine
+	// the contribution typically panic on the mismatch, which surfaces
+	// as a RankError at the combining rank.
+	TruncatePayload
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case KillRank:
+		return "kill"
+	case DropMessage:
+		return "drop"
+	case DelayMessage:
+		return "delay"
+	case TruncatePayload:
+		return "truncate"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one injected failure: it triggers when rank Rank starts its
+// Event-th communication operation (0-based; sends, receives, and
+// collective participations each count as one event).
+type Fault struct {
+	Kind  FaultKind
+	Rank  int
+	Event int64
+	Delay float64 // virtual seconds, DelayMessage only
+}
+
+// FaultPlan is a deterministic schedule of injected faults, attached to
+// a run via Model.Faults. Matching is purely positional (rank × event
+// index), so a plan replays identically on every run of the same
+// program; fault checks never touch virtual clocks, so ranks that no
+// fault reaches keep bit-identical timings.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// NewFaultPlan returns an empty plan; chain Kill/Drop/Delay/Truncate to
+// populate it.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// Kill schedules rank to die at its event-th communication operation.
+func (p *FaultPlan) Kill(rank int, event int64) *FaultPlan {
+	p.Faults = append(p.Faults, Fault{Kind: KillRank, Rank: rank, Event: event})
+	return p
+}
+
+// Drop schedules the message rank sends at its event-th communication
+// operation to vanish on the wire.
+func (p *FaultPlan) Drop(rank int, event int64) *FaultPlan {
+	p.Faults = append(p.Faults, Fault{Kind: DropMessage, Rank: rank, Event: event})
+	return p
+}
+
+// Delay schedules the message rank sends at its event-th communication
+// operation to arrive `seconds` virtual seconds late.
+func (p *FaultPlan) Delay(rank int, event int64, seconds float64) *FaultPlan {
+	p.Faults = append(p.Faults, Fault{Kind: DelayMessage, Rank: rank, Event: event, Delay: seconds})
+	return p
+}
+
+// Truncate schedules the payload rank contributes at its event-th
+// communication operation to be corrupted.
+func (p *FaultPlan) Truncate(rank int, event int64) *FaultPlan {
+	p.Faults = append(p.Faults, Fault{Kind: TruncatePayload, Rank: rank, Event: event})
+	return p
+}
+
+// RandomKillPlan derives a single seeded kill fault: a pseudo-random
+// rank of a P-rank world dies at a pseudo-random communication event
+// below maxEvent. Useful for fuzz-style robustness sweeps.
+func RandomKillPlan(seed int64, p int, maxEvent int64) *FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	if p < 1 {
+		p = 1
+	}
+	if maxEvent < 1 {
+		maxEvent = 1
+	}
+	return NewFaultPlan().Kill(rng.Intn(p), rng.Int63n(maxEvent))
+}
+
+// at returns the first fault scheduled for (rank, event), or nil.
+func (p *FaultPlan) at(rank int, event int64) *Fault {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.Rank == rank && f.Event == event {
+			return f
+		}
+	}
+	return nil
+}
+
+// InjectedFault is the error a KillRank fault raises inside the target
+// rank; it surfaces to RunChecked callers wrapped in a RankError.
+type InjectedFault struct {
+	Rank  int
+	Event int64
+}
+
+func (e *InjectedFault) Error() string {
+	return fmt.Sprintf("injected fault: rank %d killed at communication event %d", e.Rank, e.Event)
+}
+
+// truncatePayload corrupts a payload the way TruncatePayload specifies:
+// slices lose their second half; everything else becomes nil.
+func truncatePayload(data any) any {
+	v := reflect.ValueOf(data)
+	if v.Kind() == reflect.Slice {
+		return v.Slice(0, v.Len()/2).Interface()
+	}
+	return nil
+}

@@ -87,11 +87,11 @@ func HaloExchange(c *Comm, g Grid, payload []any, bytes []int) []any {
 		panic("mpi: HaloExchange payload count must match neighbour count")
 	}
 	for i, nb := range nbrs {
-		c.Send(nb, payload[i], bytes[i])
+		c.sendOp(nb, payload[i], bytes[i], "HaloExchange")
 	}
 	out := make([]any, len(nbrs))
 	for i, nb := range nbrs {
-		out[i] = c.Recv(nb)
+		out[i] = c.recvOp(nb, "HaloExchange")
 	}
 	return out
 }

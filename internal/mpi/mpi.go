@@ -21,12 +21,24 @@
 // combine contributions in rank order, and no rank ever waits on "any
 // source", so clocks and algorithm outputs are independent of the Go
 // scheduler.
+//
+// Failure semantics: the runtime is a failure domain, not just a
+// simulator. A rank that panics (or is killed by an injected fault, see
+// FaultPlan) poisons the world: every other rank blocked in a receive,
+// send, or collective is woken and torn down, and RunChecked returns a
+// structured RankError instead of hanging or re-panicking. A stall with
+// every live rank blocked and no progress (a genuine deadlock: a
+// receive with no matching send, a collective a dead rank will never
+// join) is detected by a watchdog (Model.Watchdog) that aborts the
+// world with a per-rank diagnostic dump.
 package mpi
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Model holds the machine constants of the simulated cluster.
@@ -41,6 +53,17 @@ type Model struct {
 	// partitioners with per-level irregular exchanges degrade once
 	// N/P gets small.
 	PerPeer float64
+
+	// Watchdog is the real-time stall window of the deadlock watchdog:
+	// when every live rank stays blocked on the same operation with no
+	// progress anywhere for this long, the world is aborted with a
+	// DeadlockError. Zero selects DefaultWatchdogWindow; a negative
+	// value disables the watchdog. The watchdog never touches virtual
+	// clocks.
+	Watchdog time.Duration
+	// Faults optionally injects deterministic failures into the run;
+	// nil (the default) runs fault-free. See FaultPlan.
+	Faults *FaultPlan
 }
 
 // DefaultModel returns constants representative of the paper's testbed
@@ -109,10 +132,14 @@ type rankState struct {
 	messages  int64
 	inbox     chan message
 	pending   map[int][]message
+
+	events int64  // communication events so far (fault-plan positions)
+	phase  string // set via Comm.SetPhase; read only by the owning goroutine
+	wait   atomic.Pointer[waitInfo]
 }
 
 // World is a group of simulated ranks. Create one per parallel run via
-// Run.
+// Run or RunChecked.
 type World struct {
 	size  int
 	model Model
@@ -121,6 +148,12 @@ type World struct {
 	colls  map[int]*collective // keyed by communicator size
 
 	ranks []*rankState
+
+	abortCh   chan struct{}
+	abortOnce sync.Once
+	aborted   atomic.Bool
+	abortErr  atomic.Pointer[RankError]
+	progress  atomic.Int64 // bumps whenever any rank completes a blocking op
 }
 
 // collective is a reusable generation-counted rendezvous for the first
@@ -151,17 +184,38 @@ func newCollective(size int) *collective {
 
 // Run executes body on p simulated ranks and returns their stats in
 // rank order. body must communicate only through the provided Comm.
-// Panics in any rank are re-raised in the caller after all goroutines
-// stop, so a failing algorithm fails the test that drives it.
+// Any failure — a rank panic, an injected fault, a watchdog-detected
+// deadlock — is re-raised as a panic in the caller after all goroutines
+// stop, so a failing algorithm fails the test that drives it. Drivers
+// that want to survive failures use RunChecked instead.
 func Run(p int, model Model, body func(*Comm)) []RankStats {
+	stats, err := RunChecked(p, model, body)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: %v", err))
+	}
+	return stats
+}
+
+// RunChecked executes body on p simulated ranks and returns their stats
+// in rank order. Unlike Run it never panics on rank failure and never
+// hangs: a panicking rank is converted into a poison message that
+// unblocks every other rank (receives, sends, and in-flight
+// collectives), all goroutines are joined, and the failure comes back
+// as a *RankError identifying the rank, its phase (Comm.SetPhase), and
+// the cause. A stalled world (every live rank blocked, no progress for
+// Model.Watchdog) is aborted by the watchdog with a *DeadlockError
+// wrapped in the returned *RankError. The returned stats are the
+// clocks at teardown — complete for fault-free runs, partial otherwise.
+func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 	if p <= 0 {
 		panic("mpi: Run with non-positive size")
 	}
 	w := &World{
-		size:  p,
-		model: model,
-		colls: make(map[int]*collective),
-		ranks: make([]*rankState, p),
+		size:    p,
+		model:   model,
+		colls:   make(map[int]*collective),
+		ranks:   make([]*rankState, p),
+		abortCh: make(chan struct{}),
 	}
 	// Inbox capacity must cover the worst transient backlog: every other
 	// rank sending twice (two pipelined exchange phases) before this
@@ -174,24 +228,42 @@ func Run(p int, model Model, body func(*Comm)) []RankStats {
 		}
 	}
 	var wg sync.WaitGroup
-	panics := make([]any, p)
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
+			st := w.ranks[rank]
 			defer wg.Done()
 			defer func() {
-				if e := recover(); e != nil {
-					panics[rank] = e
+				e := recover()
+				st.wait.Store(&waitInfo{kind: waitDone, clock: st.clock, phase: st.phase})
+				w.progress.Add(1)
+				if e == nil {
+					return
 				}
+				if _, poisoned := e.(abortSignal); poisoned {
+					return // torn down by another rank's abort
+				}
+				err, ok := e.(error)
+				if !ok {
+					err = fmt.Errorf("panic: %v", e)
+				}
+				w.abort(&RankError{Rank: rank, Phase: st.phase, Err: err})
 			}()
-			body(&Comm{world: w, rank: rank, size: p, state: w.ranks[rank]})
+			body(&Comm{world: w, rank: rank, size: p, state: st})
 		}(r)
 	}
+	window := model.Watchdog
+	if window == 0 {
+		window = DefaultWatchdogWindow
+	}
+	var stopWatchdog chan struct{}
+	if window > 0 {
+		stopWatchdog = make(chan struct{})
+		go w.watchdog(window, stopWatchdog)
+	}
 	wg.Wait()
-	for r, e := range panics {
-		if e != nil {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, e))
-		}
+	if stopWatchdog != nil {
+		close(stopWatchdog)
 	}
 	stats := make([]RankStats, p)
 	for r, st := range w.ranks {
@@ -203,7 +275,34 @@ func Run(p int, model Model, body func(*Comm)) []RankStats {
 			Messages:  st.messages,
 		}
 	}
-	return stats
+	if err := w.abortErr.Load(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// abort poisons the world exactly once: the error is recorded, the
+// abort channel unblocks every rank parked in a Send or Recv select,
+// and every collective is broadcast so cond-waiters wake, observe the
+// abort, and tear down. Must not be called while holding a collective's
+// mutex.
+func (w *World) abort(err *RankError) {
+	w.abortOnce.Do(func() {
+		w.abortErr.Store(err)
+		w.aborted.Store(true)
+		close(w.abortCh)
+		w.collMu.Lock()
+		colls := make([]*collective, 0, len(w.colls))
+		for _, coll := range w.colls {
+			colls = append(colls, coll)
+		}
+		w.collMu.Unlock()
+		for _, coll := range colls {
+			coll.mu.Lock()
+			coll.cond.Broadcast()
+			coll.mu.Unlock()
+		}
+	})
 }
 
 func (w *World) collectiveFor(size int) *collective {
@@ -241,6 +340,55 @@ func (c *Comm) Elapsed() float64 { return c.state.clock }
 // CommElapsed returns the communication portion of the virtual clock.
 func (c *Comm) CommElapsed() float64 { return c.state.commTime }
 
+// SetPhase labels the algorithm phase this rank is in ("coarsen",
+// "embed", "partition", ...). The label is attached to RankErrors and
+// watchdog diagnostics; it has no effect on clocks or semantics.
+func (c *Comm) SetPhase(name string) { c.state.phase = name }
+
+// Phase returns the current phase label.
+func (c *Comm) Phase() string { return c.state.phase }
+
+// Events returns the number of communication events this rank has
+// started (the positions a FaultPlan addresses).
+func (c *Comm) Events() int64 { return c.state.events }
+
+// Abort poisons the world with a structured error and terminates the
+// calling rank: every other rank is unblocked and torn down, and the
+// enclosing RunChecked returns a *RankError wrapping err. Abort does
+// not return.
+func (c *Comm) Abort(err error) {
+	c.world.abort(&RankError{Rank: c.rank, Phase: c.state.phase, Err: err})
+	panic(abortSignal{})
+}
+
+// commEvent starts a communication operation: it advances the event
+// counter, raises a scheduled kill fault, and returns any other fault
+// scheduled for this position. Pure bookkeeping — clocks are untouched,
+// so fault-free ranks keep bit-identical timings.
+func (c *Comm) commEvent(op string) *Fault {
+	ev := c.state.events
+	c.state.events++
+	f := c.world.model.Faults.at(c.rank, ev)
+	if f != nil && f.Kind == KillRank {
+		panic(&InjectedFault{Rank: c.rank, Event: ev})
+	}
+	return f
+}
+
+// beginWait publishes what this rank is about to block on; endWait
+// clears it and bumps the world progress counter.
+func (c *Comm) beginWait(kind int, op string, peer, size int, gen int64) {
+	c.state.wait.Store(&waitInfo{
+		kind: kind, op: op, peer: peer, size: size, gen: gen,
+		clock: c.state.clock, phase: c.state.phase,
+	})
+}
+
+func (c *Comm) endWait() {
+	c.state.wait.Store(nil)
+	c.world.progress.Add(1)
+}
+
 // Charge advances the virtual clock by ops charged operations of local
 // computation.
 func (c *Comm) Charge(ops float64) {
@@ -269,16 +417,47 @@ func (c *Comm) SubComm(n int) *Comm {
 // Send delivers data to rank `to`. bytes is the modeled payload size.
 // The payload is available to the receiver at sender-clock + Latency +
 // PerByte·bytes; the sender itself is charged the send overhead
-// (Latency). Send never blocks unless the channel to `to` holds 4096
-// undelivered messages.
+// (Latency). Send only blocks when the receiver's inbox is full, and is
+// unblocked (tearing the rank down) if the world aborts meanwhile.
 func (c *Comm) Send(to int, data any, bytes int) {
+	c.sendOp(to, data, bytes, "Send")
+}
+
+func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 	if to == c.rank {
 		panic("mpi: Send to self")
 	}
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to rank %d of world size %d", to, c.world.size))
+	}
+	f := c.commEvent(op)
 	m := c.world.model
 	cost := m.Latency + m.PerByte*float64(bytes)
 	arrival := c.state.clock + cost
-	c.world.ranks[to].inbox <- message{src: c.rank, data: data, arrival: arrival, cost: cost}
+	deliver := true
+	if f != nil {
+		switch f.Kind {
+		case DropMessage:
+			deliver = false
+		case DelayMessage:
+			arrival += f.Delay
+			cost += f.Delay
+		case TruncatePayload:
+			data = truncatePayload(data)
+		}
+	}
+	if deliver {
+		msg := message{src: c.rank, data: data, arrival: arrival, cost: cost}
+		c.beginWait(waitSend, op, to, 0, 0)
+		select {
+		case c.world.ranks[to].inbox <- msg:
+		case <-c.world.abortCh:
+			panic(abortSignal{})
+		}
+		c.endWait()
+	}
+	// A dropped message still charges the sender: the fault is on the
+	// wire, and no other rank's clock may move because of it.
 	c.state.clock += m.Latency
 	c.state.commTime += m.Latency
 	c.state.bytesSent += int64(bytes)
@@ -288,16 +467,30 @@ func (c *Comm) Send(to int, data any, bytes int) {
 // Recv blocks until a message from rank `from` is available and returns
 // its payload, advancing the virtual clock to the message arrival time
 // (or leaving it unchanged if the message already arrived in virtual
-// time).
+// time). If the world aborts while waiting, the rank is torn down.
 func (c *Comm) Recv(from int) any {
+	return c.recvOp(from, "Recv")
+}
+
+func (c *Comm) recvOp(from int, op string) any {
+	c.commEvent(op)
 	msg, ok := c.takePending(from)
-	for !ok {
-		in := <-c.state.inbox
-		if in.src == from {
-			msg = in
-			break
+	if !ok {
+		c.beginWait(waitRecv, op, from, 0, 0)
+	recvLoop:
+		for {
+			select {
+			case in := <-c.state.inbox:
+				if in.src == from {
+					msg = in
+					break recvLoop
+				}
+				c.state.pending[in.src] = append(c.state.pending[in.src], in)
+			case <-c.world.abortCh:
+				panic(abortSignal{})
+			}
 		}
-		c.state.pending[in.src] = append(c.state.pending[in.src], in)
+		c.endWait()
 	}
 	advance := msg.arrival - c.state.clock
 	if advance > 0 {
@@ -350,8 +543,13 @@ func log2ceil(n int) float64 {
 // runCollective performs the generation-matched rendezvous: every rank
 // of the communicator contributes val; combine runs once, in rank
 // order, when the last rank arrives; all ranks' clocks advance to
-// max(clock) + cost and the combined value is returned to each.
-func (c *Comm) runCollective(val any, combine func(vals []any) any, cost float64) any {
+// max(clock) + cost and the combined value is returned to each. op
+// names the collective in fault positions and watchdog diagnostics.
+func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, cost float64) any {
+	f := c.commEvent(op)
+	if f != nil && f.Kind == TruncatePayload {
+		val = truncatePayload(val)
+	}
 	if c.size == 1 {
 		c.state.clock += cost
 		c.state.commTime += cost
@@ -381,15 +579,29 @@ func (c *Comm) runCollective(val any, combine func(vals []any) any, cost float64
 				mc = cc
 			}
 		}
-		coll.result = combine(coll.vals)
+		// combine is user code and may panic (e.g. on a truncated
+		// contribution); it must not take the collective's mutex down
+		// with it, or the waiters could never be woken by the abort.
+		res, perr := safeCombine(combine, coll.vals)
+		if perr != nil {
+			coll.mu.Unlock()
+			panic(perr)
+		}
+		coll.result = res
 		coll.done = mx + mc
 		coll.count = 0
 		coll.gen++
 		coll.cond.Broadcast()
 	} else {
+		c.beginWait(waitColl, op, -1, coll.size, myGen)
 		for coll.gen == myGen {
+			if c.world.aborted.Load() {
+				coll.mu.Unlock()
+				panic(abortSignal{})
+			}
 			coll.cond.Wait()
 		}
+		c.endWait()
 	}
 	res, done := coll.result, coll.done
 	coll.mu.Unlock()
@@ -408,11 +620,22 @@ func (c *Comm) runCollective(val any, combine func(vals []any) any, cost float64
 	return res
 }
 
+// safeCombine runs combine, converting a panic into a returned value so
+// callers can release locks before re-raising.
+func safeCombine(combine func([]any) any, vals []any) (res any, panicked any) {
+	defer func() {
+		if e := recover(); e != nil {
+			panicked = e
+		}
+	}()
+	return combine(vals), nil
+}
+
 // Barrier synchronises all ranks of the communicator; cost is a
 // log2(P)-depth tree of latencies.
 func (c *Comm) Barrier() {
 	m := c.world.model
-	c.runCollective(nil, func([]any) any { return nil },
+	c.runCollective("Barrier", nil, func([]any) any { return nil },
 		m.Latency*log2ceil(c.size))
 }
 
@@ -423,7 +646,7 @@ func (c *Comm) Bcast(root int, data any, bytes int) any {
 		panic("mpi: Bcast root out of range")
 	}
 	m := c.world.model
-	return c.runCollective(data, func(vals []any) any { return vals[root] },
+	return c.runCollective("Bcast", data, func(vals []any) any { return vals[root] },
 		(m.Latency+m.PerByte*float64(bytes))*log2ceil(c.size))
 }
 
@@ -461,7 +684,7 @@ func (c *Comm) ChargeComm(messages, bytes int) {
 // SyncCost synchronises the communicator like Barrier but charges the
 // given collective cost (seconds) instead of the barrier tree formula.
 func (c *Comm) SyncCost(cost float64) {
-	c.runCollective(nil, func([]any) any { return nil }, cost)
+	c.runCollective("SyncCost", nil, func([]any) any { return nil }, cost)
 }
 
 // CollectiveCost returns the modeled cost of a tree collective moving
