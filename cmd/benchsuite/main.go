@@ -6,12 +6,15 @@
 //	benchsuite                          # everything, default scale
 //	benchsuite -experiment fig3         # one experiment
 //	benchsuite -scale 0.25 -ps 1,16,256 # quicker sweep
+//	benchsuite -workers 4 -cpuprofile cpu.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -23,9 +26,39 @@ func main() {
 		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|all")
 		scale      = flag.Float64("scale", 1.0, "suite size scale (1 = default bench sizes)")
 		psFlag     = flag.String("ps", "", "comma-separated processor sweep (default 1,2,...,1024)")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf != "" {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			}
+		}
+	}()
 	ps := bench.DefaultPs()
 	if *psFlag != "" {
 		ps = ps[:0]
@@ -39,8 +72,14 @@ func main() {
 		}
 	}
 	h := bench.New(*scale, ps)
+	h.Workers = *workers
 	if !*quiet {
 		h.Out = os.Stderr
+	}
+	if *experiment == "all" {
+		// Warm the run cache for the full sweep in parallel; the
+		// experiments below then assemble tables from cached runs.
+		h.Precompute(bench.ParallelMethods())
 	}
 	experiments := []struct {
 		name string

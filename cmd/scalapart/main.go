@@ -19,10 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/gen"
@@ -34,17 +37,56 @@ import (
 
 func main() {
 	var (
-		file   = flag.String("file", "", "METIS graph file to partition")
-		name   = flag.String("graph", "", "built-in suite graph name (see -list)")
-		scale  = flag.Float64("scale", 0.25, "size scale for built-in graphs")
-		method = flag.String("method", "ScalaPart", "ScalaPart | ParMetis | Pt-Scotch | RCB | SP-PG7-NL | G30 | G7 | G7-NL")
-		p      = flag.Int("p", 16, "simulated processor count")
-		seed   = flag.Int64("seed", 42, "random seed")
-		out    = flag.String("out", "", "write per-vertex part ids to this file")
-		list   = flag.Bool("list", false, "list built-in graphs and exit")
-		fault  = flag.String("fault", "", "inject faults: comma-separated kill:R@E | drop:R@E | delay:R@E+SECS | trunc:R@E")
+		file      = flag.String("file", "", "METIS graph file to partition")
+		name      = flag.String("graph", "", "built-in suite graph name (see -list)")
+		scale     = flag.Float64("scale", 0.25, "size scale for built-in graphs")
+		method    = flag.String("method", "ScalaPart", "ScalaPart | ParMetis | Pt-Scotch | RCB | SP-PG7-NL | G30 | G7 | G7-NL")
+		p         = flag.Int("p", 16, "simulated processor count")
+		seed      = flag.Int64("seed", 42, "random seed")
+		out       = flag.String("out", "", "write per-vertex part ids to this file")
+		list      = flag.Bool("list", false, "list built-in graphs and exit")
+		fault     = flag.String("fault", "", "inject faults: comma-separated kill:R@E | drop:R@E | delay:R@E+SECS | trunc:R@E")
+		benchJSON = flag.String("bench-json", "", "sweep ScalaPart over the suite and write perf-trajectory JSON to this file, then exit")
+		psFlag    = flag.String("ps", "", "processor sweep for -bench-json (default 1,2,...,1024)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf != "" {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scalapart:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "scalapart:", err)
+			}
+		}
+	}()
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *scale, *psFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf trajectory written to %s\n", *benchJSON)
+		return
+	}
 	model := mpi.DefaultModel()
 	if *fault != "" {
 		plan, err := parseFaultPlan(*fault)
@@ -163,6 +205,30 @@ func main() {
 		}
 		fmt.Printf("partition written to %s\n", *out)
 	}
+}
+
+// writeBenchJSON runs the ScalaPart suite sweep at the given scale and
+// writes the BENCH perf-trajectory file (modeled time, comm time,
+// message counts, and host wall-clock per run).
+func writeBenchJSON(path string, scale float64, psSpec string) error {
+	ps := bench.DefaultPs()
+	if psSpec != "" {
+		ps = ps[:0]
+		for _, tok := range strings.Split(psSpec, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad -ps entry %q", tok)
+			}
+			ps = append(ps, v)
+		}
+	}
+	h := bench.New(scale, ps)
+	h.Out = os.Stderr
+	data, err := h.BenchJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // parseFaultPlan parses the -fault flag: comma-separated specs of the

@@ -1,0 +1,54 @@
+package bench
+
+import "encoding/json"
+
+// BenchRecord is one row of a BENCH_*.json perf-trajectory file: the
+// modeled outcome of one (graph, method, P) run plus the host
+// wall-clock the simulator spent producing it, so both modeled and
+// simulator-speed regressions are visible across PRs.
+type BenchRecord struct {
+	Graph       string  `json:"graph"`
+	Method      string  `json:"method"`
+	P           int     `json:"p"`
+	Cut         int64   `json:"cut"`
+	Imbalance   float64 `json:"imbalance"`
+	ModeledTime float64 `json:"modeled_time_s"`
+	CommTime    float64 `json:"comm_time_s"`
+	Messages    int64   `json:"messages"`
+	BytesSent   int64   `json:"bytes_sent"`
+	WallSeconds float64 `json:"wall_s"`
+	Fallback    bool    `json:"fallback,omitempty"`
+}
+
+// BenchFile is the top-level shape of a BENCH_*.json file.
+type BenchFile struct {
+	Scale float64       `json:"suite_scale"`
+	Ps    []int         `json:"ps"`
+	Runs  []BenchRecord `json:"runs"`
+}
+
+// BenchJSON sweeps ScalaPart over the synthetic suite (warming the
+// cache in parallel) and renders the per-run records as indented JSON.
+func (h *Harness) BenchJSON() ([]byte, error) {
+	h.Precompute([]string{MethodSP})
+	file := BenchFile{Scale: h.Scale, Ps: h.Ps}
+	for _, name := range SuiteNames() {
+		for _, p := range h.Ps {
+			r := h.Get(name, MethodSP, p)
+			file.Runs = append(file.Runs, BenchRecord{
+				Graph:       r.Graph,
+				Method:      r.Method,
+				P:           r.P,
+				Cut:         r.Cut,
+				Imbalance:   r.Imbalance,
+				ModeledTime: r.Time,
+				CommTime:    r.CommTime,
+				Messages:    r.Messages,
+				BytesSent:   r.BytesSent,
+				WallSeconds: r.WallSeconds,
+				Fallback:    r.Fallback,
+			})
+		}
+	}
+	return json.MarshalIndent(&file, "", "  ")
+}

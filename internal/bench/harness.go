@@ -8,7 +8,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -34,16 +36,19 @@ const (
 
 // Run is one cached (graph, method, P) outcome.
 type Run struct {
-	Graph     string
-	Method    string
-	P         int
-	Cut       int64
-	Imbalance float64
-	Time      float64 // modeled seconds (max over ranks); 0 for sequential baselines
-	CommTime  float64
-	Times     core.PhaseTimes // phase breakdown (ScalaPart runs)
-	StripSize int
-	Fallback  bool // the parallel run failed; this is the sequential recovery result
+	Graph       string
+	Method      string
+	P           int
+	Cut         int64
+	Imbalance   float64
+	Time        float64 // modeled seconds (max over ranks); 0 for sequential baselines
+	CommTime    float64
+	WallSeconds float64         // host wall-clock spent computing the run
+	Messages    int64           // point-to-point messages, summed over ranks
+	BytesSent   int64           // point-to-point payload bytes, summed over ranks
+	Times       core.PhaseTimes // phase breakdown (ScalaPart runs)
+	StripSize   int
+	Fallback    bool // the parallel run failed; this is the sequential recovery result
 }
 
 type runKey struct {
@@ -51,28 +56,28 @@ type runKey struct {
 	p             int
 }
 
-// Harness caches graphs, force-directed layouts, and runs.
+// Harness caches graphs, force-directed layouts, and runs. All caches
+// are singleflight, so Precompute can fan the sweep across a worker
+// pool without ever duplicating a graph build, layout, or run.
 type Harness struct {
-	Scale float64 // suite scale; 1 = default bench sizes
-	Ps    []int   // processor sweep
-	Model mpi.Model
-	Out   io.Writer // progress log; nil silences
+	Scale   float64 // suite scale; 1 = default bench sizes
+	Ps      []int   // processor sweep
+	Model   mpi.Model
+	Out     io.Writer // progress log; nil silences
+	Workers int       // Precompute pool size; 0 = one per available core
 
-	mu      sync.Mutex
-	graphs  map[string]*gen.Generated
-	layouts map[string][]geometry.Vec2
-	runs    map[runKey]*Run
+	logMu   sync.Mutex
+	graphs  cache[string, *gen.Generated]
+	layouts cache[string, []geometry.Vec2]
+	runs    cache[runKey, *Run]
 }
 
 // New returns a harness at the given scale with the given P sweep.
 func New(scale float64, ps []int) *Harness {
 	return &Harness{
-		Scale:   scale,
-		Ps:      ps,
-		Model:   mpi.DefaultModel(),
-		graphs:  make(map[string]*gen.Generated),
-		layouts: make(map[string][]geometry.Vec2),
-		runs:    make(map[runKey]*Run),
+		Scale: scale,
+		Ps:    ps,
+		Model: mpi.DefaultModel(),
 	}
 }
 
@@ -87,29 +92,23 @@ func DefaultPs() []int {
 
 func (h *Harness) logf(format string, args ...any) {
 	if h.Out != nil {
+		h.logMu.Lock()
 		fmt.Fprintf(h.Out, format+"\n", args...)
+		h.logMu.Unlock()
 	}
 }
 
 // Graph returns (building and caching) a suite graph by name.
 func (h *Harness) Graph(name string) *gen.Generated {
-	h.mu.Lock()
-	g, ok := h.graphs[name]
-	h.mu.Unlock()
-	if ok {
-		return g
-	}
-	for _, e := range gen.SuiteEntries() {
-		if e.Name == name {
-			h.logf("generating %s (scale %g)...", name, h.Scale)
-			g = e.Build(h.Scale)
-			h.mu.Lock()
-			h.graphs[name] = g
-			h.mu.Unlock()
-			return g
+	return h.graphs.get(name, func() *gen.Generated {
+		for _, e := range gen.SuiteEntries() {
+			if e.Name == name {
+				h.logf("generating %s (scale %g)...", name, h.Scale)
+				return e.Build(h.Scale)
+			}
 		}
-	}
-	panic("bench: unknown suite graph " + name)
+		panic("bench: unknown suite graph " + name)
+	})
 }
 
 // SuiteNames returns the nine suite graph names in paper order.
@@ -126,19 +125,11 @@ func SuiteNames() []string {
 // force-directed layout of a suite graph — the stand-in for the
 // Mathematica embedding the paper gives to RCB and G30/G7.
 func (h *Harness) HuCoords(name string) []geometry.Vec2 {
-	h.mu.Lock()
-	c, ok := h.layouts[name]
-	h.mu.Unlock()
-	if ok {
-		return c
-	}
-	g := h.Graph(name)
-	h.logf("sequential layout of %s (n=%d)...", name, g.G.NumVertices())
-	c = embed.SequentialLayout(g.G, embed.SeqOptions{Seed: seedOf(name), IterSmooth: 30})
-	h.mu.Lock()
-	h.layouts[name] = c
-	h.mu.Unlock()
-	return c
+	return h.layouts.get(name, func() []geometry.Vec2 {
+		g := h.Graph(name)
+		h.logf("sequential layout of %s (n=%d)...", name, g.G.NumVertices())
+		return embed.SequentialLayout(g.G, embed.SeqOptions{Seed: seedOf(name), IterSmooth: 30})
+	})
 }
 
 // seedOf derives a stable per-graph seed.
@@ -156,17 +147,53 @@ func seedOf(name string) int64 {
 // Get computes (or retrieves) one run.
 func (h *Harness) Get(graphName, method string, p int) *Run {
 	key := runKey{graphName, method, p}
-	h.mu.Lock()
-	if r, ok := h.runs[key]; ok {
-		h.mu.Unlock()
-		return r
+	return h.runs.get(key, func() *Run {
+		return h.compute(graphName, method, p)
+	})
+}
+
+// ParallelMethods lists the methods whose runs execute on the simulated
+// runtime — the expensive part of the sweep and the part worth warming
+// in parallel. Sequential baselines (G30/G7/G7-NL/RCB-seq) stay lazy.
+func ParallelMethods() []string {
+	return []string{MethodSP, MethodSPPG, MethodPM, MethodPTS, MethodRCB}
+}
+
+// Precompute warms the run cache for methods × suite graphs × the P
+// sweep using a worker pool (h.Workers, defaulting to one worker per
+// available core). Runs are independent and individually seeded, so
+// execution order cannot change any result; the singleflight caches
+// keep concurrent workers from duplicating shared graph builds and
+// layouts. Table and figure assembly afterwards is pure lookup.
+func (h *Harness) Precompute(methods []string) {
+	type job struct {
+		graph, method string
+		p             int
 	}
-	h.mu.Unlock()
-	r := h.compute(graphName, method, p)
-	h.mu.Lock()
-	h.runs[key] = r
-	h.mu.Unlock()
-	return r
+	jobs := make(chan job)
+	workers := h.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				h.Get(j.graph, j.method, j.p)
+			}
+		}()
+	}
+	for _, name := range SuiteNames() {
+		for _, m := range methods {
+			for _, p := range h.Ps {
+				jobs <- job{name, m, p}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // fallbackRun completes a run whose parallel execution failed: the
@@ -185,11 +212,24 @@ func (h *Harness) fallbackRun(run *Run, g *gen.Generated, seed int64, runErr err
 	return run
 }
 
+// addStats folds per-rank runtime statistics into the run's totals.
+func (run *Run) addStats(stats []mpi.RankStats) {
+	for _, s := range stats {
+		run.Messages += s.Messages
+		run.BytesSent += s.BytesSent
+	}
+}
+
 func (h *Harness) compute(graphName, method string, p int) *Run {
 	g := h.Graph(graphName)
 	seed := seedOf(graphName)
 	run := &Run{Graph: graphName, Method: method, P: p}
 	h.logf("run %-10s %-18s P=%-5d", method, graphName, p)
+	start := time.Now()
+	defer func() {
+		run.WallSeconds = time.Since(start).Seconds()
+		h.logf("  %-10s %-18s P=%-5d modeled %.4gs  wall %.2fs", method, graphName, p, run.Time, run.WallSeconds)
+	}()
 	switch method {
 	case MethodSP:
 		opt := core.DefaultOptions(seed)
@@ -202,6 +242,7 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
 		run.Times = res.Times
 		run.StripSize = res.StripSize
+		run.addStats(res.Stats)
 	case MethodSPPG:
 		res, err := core.PartitionGeometricChecked(g.G, h.HuCoords(graphName), p, geopart.DefaultParallelConfig(), h.Model)
 		if err != nil {
@@ -210,6 +251,7 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 		run.Cut, run.Imbalance = res.Cut, res.Imbalance
 		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
 		run.StripSize = res.StripSize
+		run.addStats(res.Stats)
 	case MethodRCB:
 		res, err := core.RCBParallelChecked(g.G, h.HuCoords(graphName), p, h.Model)
 		if err != nil {
@@ -217,6 +259,7 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 		}
 		run.Cut, run.Imbalance = res.Cut, res.Imbalance
 		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
+		run.addStats(res.Stats)
 	case MethodPM, MethodPTS:
 		cfg := baseline.ParMetisLike(seed)
 		if method == MethodPTS {
@@ -229,6 +272,7 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 		}
 		run.Cut, run.Imbalance = res.Cut, res.Imbalance
 		run.Time, run.CommTime = res.Total, res.Comm
+		run.addStats(res.Stats)
 	case MethodG30, MethodG7, MethodG7NL:
 		var cfg geopart.Config
 		switch method {

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mpi"
+)
+
+// TestPoolingBitIdentical runs the full pipeline with message-buffer
+// pooling enabled and disabled and requires bit-identical outcomes:
+// same cut, same per-vertex partition, same per-rank virtual clocks and
+// message counts. Pooling is a host-side optimisation; any visible
+// difference means a buffer was reused while the simulation still
+// referenced it.
+func TestPoolingBitIdentical(t *testing.T) {
+	g := gen.Grid2D(40, 40)
+	const p = 8
+	defer mpi.SetPooling(mpi.SetPooling(true))
+	pooled := Partition(g.G, p, DefaultOptions(42))
+	mpi.SetPooling(false)
+	plain := Partition(g.G, p, DefaultOptions(42))
+	if pooled.Cut != plain.Cut {
+		t.Errorf("cut differs: pooled %d plain %d", pooled.Cut, plain.Cut)
+	}
+	if len(pooled.Part) != len(plain.Part) {
+		t.Fatalf("partition length differs: %d vs %d", len(pooled.Part), len(plain.Part))
+	}
+	for v := range pooled.Part {
+		if pooled.Part[v] != plain.Part[v] {
+			t.Fatalf("vertex %d assigned to part %d pooled, %d plain", v, pooled.Part[v], plain.Part[v])
+		}
+	}
+	if len(pooled.Stats) != len(plain.Stats) {
+		t.Fatalf("stats length differs: %d vs %d", len(pooled.Stats), len(plain.Stats))
+	}
+	for r := range pooled.Stats {
+		a, b := pooled.Stats[r], plain.Stats[r]
+		if a.Time != b.Time || a.CommTime != b.CommTime {
+			t.Errorf("rank %d clocks differ: pooled (%v, %v) plain (%v, %v)",
+				r, a.Time, a.CommTime, b.Time, b.CommTime)
+		}
+		if a.Messages != b.Messages || a.BytesSent != b.BytesSent {
+			t.Errorf("rank %d traffic differs: pooled (%d msg, %d B) plain (%d msg, %d B)",
+				r, a.Messages, a.BytesSent, b.Messages, b.BytesSent)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package embed
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mpi"
+)
+
+// TestSmoothSteadyStateAllocs guards the zero-allocation hot loop: once
+// scratch buffers and message pools are warm, a full staleness block
+// (blockSize iterations + the boundary ghost push, beta gather, and
+// energy reduction) must allocate far less than the pre-pooling
+// baseline (~263 mallocs per block across a 4-rank world). The bound
+// leaves headroom for runtime noise while still failing if payload
+// allocation sneaks back into the per-iteration path.
+func TestSmoothSteadyStateAllocs(t *testing.T) {
+	const (
+		p      = 4
+		bs     = 4
+		blocks = 20
+	)
+	g := gen.Grid2D(48, 48)
+	var perBlock float64
+	mpi.Run(p, mpi.DefaultModel(), func(c *mpi.Comm) {
+		st := benchLevelState(c, g, 7)
+		st.Smooth(4*bs, bs) // warm scratch buffers and pools
+		c.Barrier()
+		var m0, m1 runtime.MemStats
+		if c.Rank() == 0 {
+			runtime.ReadMemStats(&m0)
+		}
+		c.Barrier()
+		st.Smooth(blocks*bs, bs)
+		c.Barrier()
+		if c.Rank() == 0 {
+			runtime.ReadMemStats(&m1)
+			perBlock = float64(m1.Mallocs-m0.Mallocs) / blocks
+		}
+		c.Barrier()
+	})
+	if perBlock > 130 {
+		t.Errorf("steady-state Smooth: %.1f mallocs per block (world-wide), want well under 130", perBlock)
+	}
+	t.Logf("steady-state Smooth: %.1f mallocs per block across %d ranks", perBlock, p)
+}

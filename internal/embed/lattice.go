@@ -24,12 +24,21 @@ type Lattice struct {
 // NewLattice builds a lattice for grid from a coordinate sample: cut
 // positions are sample quantiles, independently per axis.
 func NewLattice(grid mpi.Grid, sample []geometry.Vec2, bounds geometry.Rect) *Lattice {
-	l := &Lattice{Grid: grid, Bounds: bounds}
 	xs := make([]float64, len(sample))
 	ys := make([]float64, len(sample))
 	for i, p := range sample {
 		xs[i], ys[i] = p.X, p.Y
 	}
+	return NewLatticeFromAxes(grid, xs, ys, bounds)
+}
+
+// NewLatticeFromAxes builds a lattice from per-axis coordinate samples.
+// The cuts depend only on each axis's sorted multiset, so callers that
+// stream coordinates (rather than materialising []Vec2) feed the axes
+// directly. Ownership of xs and ys transfers to the lattice; both are
+// sorted in place.
+func NewLatticeFromAxes(grid mpi.Grid, xs, ys []float64, bounds geometry.Rect) *Lattice {
+	l := &Lattice{Grid: grid, Bounds: bounds}
 	sort.Float64s(xs)
 	sort.Float64s(ys)
 	l.XCuts = quantileCuts(xs, grid.Cols, bounds.X0, bounds.X1)
@@ -222,6 +231,17 @@ type levelState struct {
 	energy  float64 // local energy accumulator for the adaptive step
 	aSum    float64 // local sum of attractive force magnitudes
 	rSum    float64 // local sum of repulsive force magnitudes
+
+	// Steady-state scratch: owned by the level so the smoothing hot
+	// loop never allocates after the first block.
+	nbrs       []int                  // cached grid 4-neighbourhood
+	cellSums   []geometry.Vec2        // computeCells mass-weighted sums
+	rankAggs   []beta                 // iterate per-remote-rank aggregates
+	recvCells  []beta                 // decoded neighbour sub-cells
+	nbrBufs    []*mpi.VecBuf[float64] // per-neighbour send staging
+	gatherBuf  [2][]beta              // double-buffered AllGather contribution
+	gatherFlip int
+	tree       quadtree.Tree // Barnes–Hut tree, rebuilt in place each iteration
 }
 
 // newLevelState wires up a rank's level: adjacency resolution, ghost
@@ -315,6 +335,11 @@ func newLevelState(comm *mpi.Comm, lat *Lattice, g *graph.Graph, ownedIDs []int3
 	s.myCells = make([]beta, s.subS*s.subS)
 	s.inherit = make([]geometry.Vec2, s.subS*s.subS)
 	s.moves = make([]geometry.Vec2, len(s.pos))
+	s.nbrs = lat.Grid.Neighbors(comm.Rank())
+	s.cellSums = make([]geometry.Vec2, s.subS*s.subS)
+	s.rankAggs = make([]beta, lat.Grid.Size())
+	s.recvCells = make([]beta, s.subS*s.subS)
+	s.nbrBufs = make([]*mpi.VecBuf[float64], 0, len(s.nbrs))
 	s.ring = make([][]int, s.subS*s.subS)
 	rows, cols := s.cellRows(), s.cellCols()
 	for cy := 0; cy < s.subS; cy++ {
@@ -402,7 +427,10 @@ func (s *levelState) computeCells() {
 	for i := range s.myCells {
 		s.myCells[i] = beta{}
 	}
-	sums := make([]geometry.Vec2, len(s.myCells))
+	sums := s.cellSums
+	for i := range sums {
+		sums[i] = geometry.Vec2{}
+	}
 	for i := range s.pos {
 		c := s.cellOf(s.pos[i])
 		sums[c] = sums[c].Add(s.pos[i].Scale(s.mass[i]))
@@ -422,76 +450,106 @@ func (s *levelState) computeCells() {
 }
 
 // pushGhosts sends subscribed coordinates to every subscription
-// partner: the full once-per-block refresh.
+// partner: the full once-per-block refresh. Payloads travel through the
+// pooled typed fast path, so the steady-state refresh allocates
+// nothing: one pooled message per partner, released by the receiver.
 func (s *levelState) pushGhosts() {
 	for r := 0; r < s.comm.Size(); r++ {
 		idxs, ok := s.sendTo[r]
 		if !ok {
 			continue
 		}
-		payload := make([]geometry.Vec2, len(idxs))
+		buf := mpi.Vec2Bufs.Get(len(idxs))
 		for i, li := range idxs {
-			payload[i] = s.pos[li]
+			buf.Data[i] = s.pos[li]
 		}
-		s.comm.Send(r, payload, 16*len(payload))
+		mpi.SendVec(s.comm, r, buf, 16)
 	}
 	for r := 0; r < s.comm.Size(); r++ {
 		slots, ok := s.recvFrom[r]
 		if !ok {
 			continue
 		}
-		s.applyGhostUpdate(slots, s.comm.Recv(r).([]geometry.Vec2))
+		b := mpi.RecvVec[geometry.Vec2](s.comm, r)
+		s.applyGhostUpdate(slots, b.Data)
+		b.Release()
 	}
 }
 
 func (s *levelState) applyGhostUpdate(slots []int32, payload []geometry.Vec2) {
 	for i, slot := range slots {
-		s.ghostPos[slot] = payload[i]
-		s.ghostClamped[slot] = s.lat.ClampToNeighborhood(payload[i], s.homeR, s.homeC)
+		s.setGhost(slot, payload[i])
 	}
 }
 
-// haloPayload is the combined per-iteration neighbour message: the
-// sender's sub-cell special vertices plus the boundary coordinates the
-// receiver subscribes to — one message per grid neighbour per
-// iteration, as the paper's nearest-neighbour traffic.
-type haloPayload struct {
-	Cells  []beta
-	Coords []geometry.Vec2
+// setGhost installs one ghost coordinate: the true position plus its
+// 4-neighbourhood clamp used by the attractive force.
+func (s *levelState) setGhost(slot int32, p geometry.Vec2) {
+	s.ghostPos[slot] = p
+	s.ghostClamped[slot] = s.lat.ClampToNeighborhood(p, s.homeR, s.homeC)
 }
+
+// The per-iteration neighbour message is one flat []float64 per
+// partner: the sender's subS×subS sub-cell special vertices (Phi.X,
+// Phi.Y, Mu per cell) followed by the boundary coordinates the receiver
+// subscribes to (X, Y each). Both sides know the layout — the cell
+// count is fixed and the receiver knows its own subscription counts —
+// so no framing header is needed and the modeled payload stays exactly
+// 24·cells + 16·coords bytes, as with the former boxed struct message.
 
 // exchangeNeighborhood performs the per-iteration nearest-neighbour
 // exchange: sub-cell aggregates and subscribed boundary coordinates
-// move to the four grid neighbours in a single message each; everything
-// else stays stale within the block.
+// move to the four grid neighbours coalesced into a single pooled
+// message each (the paper's nearest-neighbour traffic, one ts charge
+// per partner rather than one per payload kind); everything else stays
+// stale within the block.
 func (s *levelState) exchangeNeighborhood() {
 	s.computeCells()
-	grid := s.lat.Grid
-	nbrs := grid.Neighbors(s.comm.Rank())
-	for _, r := range nbrs {
-		pl := haloPayload{Cells: append([]beta(nil), s.myCells...)}
-		if idxs, ok := s.sendTo[r]; ok {
-			pl.Coords = make([]geometry.Vec2, len(idxs))
-			for i, li := range idxs {
-				pl.Coords[i] = s.pos[li]
+	nc := len(s.myCells)
+	bufs := s.nbrBufs[:0]
+	for _, r := range s.nbrs {
+		buf := mpi.Float64Bufs.Get(3*nc + 2*len(s.sendTo[r]))
+		d := buf.Data
+		for i, b := range s.myCells {
+			d[3*i], d[3*i+1], d[3*i+2] = b.Phi.X, b.Phi.Y, b.Mu
+		}
+		off := 3 * nc
+		for _, li := range s.sendTo[r] {
+			d[off], d[off+1] = s.pos[li].X, s.pos[li].Y
+			off += 2
+		}
+		bufs = append(bufs, buf)
+	}
+	s.nbrBufs = bufs
+	mpi.NeighborExchange(s.comm, s.nbrs, bufs, 8, func(_, r int, d []float64) {
+		for j := range s.recvCells {
+			s.recvCells[j] = beta{
+				Phi: geometry.Vec2{X: d[3*j], Y: d[3*j+1]},
+				Mu:  d[3*j+2],
 			}
 		}
-		s.comm.Send(r, pl, 24*len(pl.Cells)+16*len(pl.Coords))
-	}
-	for _, r := range nbrs {
-		pl := s.comm.Recv(r).(haloPayload)
-		s.placeCells(r, pl.Cells)
-		if slots, ok := s.recvFrom[r]; ok {
-			s.applyGhostUpdate(slots, pl.Coords)
+		s.placeCells(r, s.recvCells)
+		off := 3 * nc
+		for _, slot := range s.recvFrom[r] {
+			s.setGhost(slot, geometry.Vec2{X: d[off], Y: d[off+1]})
+			off += 2
 		}
-	}
+	})
 }
 
 // refreshBetasGlobal gathers every rank's sub-cell special vertices
-// (the once-per-block collective of the paper).
+// (the once-per-block collective of the paper). The contribution is
+// staged into one of two alternating buffers rather than a fresh copy:
+// remote ranks read the gathered slice after the collective returns,
+// and the next boundary's collective is a synchronisation point no rank
+// can pass while another still reads the previous contribution, so two
+// buffers make the reuse race-free.
 func (s *levelState) refreshBetasGlobal() {
 	s.computeCells()
-	all := mpi.AllGather(s.comm, append([]beta(nil), s.myCells...), 24*len(s.myCells))
+	buf := append(s.gatherBuf[s.gatherFlip][:0], s.myCells...)
+	s.gatherBuf[s.gatherFlip] = buf
+	s.gatherFlip ^= 1
+	all := mpi.AllGather(s.comm, buf, 24*len(buf))
 	for r, cells := range all {
 		s.placeCells(r, cells)
 	}
@@ -514,8 +572,9 @@ func (s *levelState) iterate() {
 	nc := len(s.myCells)
 	// Remote-rank aggregates from the (possibly block-stale) cell
 	// array.
-	aggs := make([]beta, s.lat.Grid.Size())
+	aggs := s.rankAggs
 	for r := range aggs {
+		aggs[r] = beta{}
 		if r == me {
 			continue
 		}
@@ -557,8 +616,9 @@ func (s *levelState) iterate() {
 		}
 		s.inherit[c] = f
 	}
-	// Own-box Barnes–Hut tree.
-	tree := quadtree.Build(s.pos, s.mass)
+	// Own-box Barnes–Hut tree, rebuilt in place over the reused arena.
+	tree := &s.tree
+	tree.Rebuild(s.pos, s.mass)
 	energy := 0.0
 	aSum, rSum := 0.0, 0.0
 	for i := range s.pos {
@@ -653,8 +713,15 @@ func (s *levelState) Smooth(iters, blockSize int) {
 			if it > 0 {
 				// One reduction per block: system energy for Hu's
 				// adaptive step plus the attraction/repulsion balance
-				// for the global equilibrium rescaling.
-				sums := mpi.AllReduceSlice(s.comm, []float64{s.energy, s.aSum, s.rSum}, 8, mpi.SumFloat64)
+				// for the global equilibrium rescaling. A fixed-size
+				// array payload keeps the collective allocation-free on
+				// the contributing side (same modeled bytes and the
+				// same element-wise rank-order sums as the former
+				// slice reduction).
+				sums := mpi.AllReduce(s.comm, [3]float64{s.energy, s.aSum, s.rSum}, 24,
+					func(a, b [3]float64) [3]float64 {
+						return [3]float64{a[0] + b[0], a[1] + b[1], a[2] + b[2]}
+					})
 				s.step.Update(sums[0])
 				if sums[1] > 1e-12 && sums[2] > 1e-12 {
 					f := cbrt(sums[2] / sums[1])

@@ -1,9 +1,10 @@
 package embed
 
 import (
+	"cmp"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/coarsen"
 	"repro/internal/geometry"
@@ -82,34 +83,61 @@ func ParallelEmbed(c *mpi.Comm, h *coarsen.Hierarchy, opt ParallelOptions) *Dist
 }
 
 // initCoarsest assigns deterministic random coordinates to the coarsest
-// graph and sets up its lattice. Every active rank generates the full
-// (small) coordinate array with the same seed, so box ownership and
-// ghost owners are locally computable; the modeled cost charges the
-// generation and one synchronising broadcast.
+// graph and sets up its lattice. Every active rank streams the same
+// seeded coordinate sequence, so box ownership and ghost owners are
+// locally computable; the modeled cost charges the generation and one
+// synchronising broadcast.
+//
+// The coordinates are never materialised as a full []Vec2: each pass
+// regenerates the sequence from the seed and keeps only what it needs
+// (per-axis samples for the lattice cuts, then this rank's owned
+// points). That bounds the per-rank footprint by the owned share
+// instead of n, while drawing the RNG in exactly the original X-then-Y
+// order, so lattices, ownership, and clocks stay bit-identical.
 func initCoarsest(sub *mpi.Comm, lev *coarsen.Level, opt ParallelOptions) *levelState {
 	g := lev.G
 	n := g.NumVertices()
-	rng := rand.New(rand.NewSource(opt.Seed<<8 + 101))
+	seed := opt.Seed<<8 + 101
 	side := opt.Force.K * math.Sqrt(float64(n))
-	all := make([]geometry.Vec2, n)
-	for i := range all {
-		all[i] = geometry.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+	// Pass 1: per-axis samples for the quantile cuts.
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * side
+		ys[i] = rng.Float64() * side
 	}
 	bounds := geometry.Rect{X0: 0, Y0: 0, X1: side, Y1: side}
 	grid := mpi.GridFor(sub.Size())
-	lat := NewLattice(grid, all, bounds)
-	var ownedIDs []int32
-	var pos []geometry.Vec2
-	for i, p := range all {
+	lat := NewLatticeFromAxes(grid, xs, ys, bounds)
+	// Pass 2: regenerate the sequence, keeping only owned points.
+	rng = rand.New(rand.NewSource(seed))
+	ownedIDs := make([]int32, 0, n/sub.Size()+16)
+	pos := make([]geometry.Vec2, 0, n/sub.Size()+16)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * side
+		y := rng.Float64() * side
+		p := geometry.Vec2{X: x, Y: y}
 		if lat.RankOf(p) == sub.Rank() {
 			ownedIDs = append(ownedIDs, int32(i))
 			pos = append(pos, p)
 		}
 	}
+	// Ghost owners stream the sequence once more at subscription time,
+	// picking out just the requested ids.
 	ownerOf := func(ids []int32) []int {
-		out := make([]int, len(ids))
+		slot := make(map[int32]int, len(ids))
 		for i, id := range ids {
-			out[i] = lat.RankOf(all[id])
+			slot[id] = i
+		}
+		out := make([]int, len(ids))
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			x := r.Float64() * side
+			y := r.Float64() * side
+			if j, ok := slot[int32(i)]; ok {
+				out[j] = lat.RankOf(geometry.Vec2{X: x, Y: y})
+			}
 		}
 		return out
 	}
@@ -129,6 +157,11 @@ func projectLevel(sub *mpi.Comm, h *coarsen.Hierarchy, li int, coarse *levelStat
 	jrng := rand.New(rand.NewSource(opt.Seed<<8 + int64(li)*1009 + int64(sub.Rank())))
 	var created []idPos
 	if coarse != nil {
+		nKids := 0
+		for _, cid := range coarse.ownedIDs {
+			nKids += len(fineLev.ChildrenOf(cid))
+		}
+		created = make([]idPos, 0, nKids)
 		for ci, cid := range coarse.ownedIDs {
 			q := coarse.pos[ci].Scale(2)
 			for _, v := range fineLev.ChildrenOf(cid) {
@@ -163,70 +196,115 @@ func projectLevel(sub *mpi.Comm, h *coarsen.Hierarchy, li int, coarse *levelStat
 	var mySample []geometry.Vec2
 	if len(created) > 0 {
 		stride := len(created)/per + 1
+		mySample = make([]geometry.Vec2, 0, len(created)/stride+1)
 		for i := 0; i < len(created); i += stride {
 			mySample = append(mySample, created[i].P)
 		}
 	}
 	sample := mpi.Concat(mpi.AllGatherV(sub, mySample, 16))
 	lat := NewLattice(grid, sample, bounds)
-	// Route vertices to their new owners.
+	// Route vertices to their new owners: count first, then fill
+	// exactly-sized per-destination buffers.
+	counts := make([]int, sub.Size())
+	for _, ip := range created {
+		counts[lat.RankOf(ip.P)]++
+	}
 	dest := make([][]idPos, sub.Size())
+	for r, cnt := range counts {
+		if cnt > 0 {
+			dest[r] = make([]idPos, 0, cnt)
+		}
+	}
 	for _, ip := range created {
 		r := lat.RankOf(ip.P)
 		dest[r] = append(dest[r], ip)
 	}
 	recv := mpi.AllToAllV(sub, dest, 20)
-	var mine []idPos
+	total := 0
+	for _, part := range recv {
+		total += len(part)
+	}
+	mine := make([]idPos, 0, total)
 	for _, part := range recv {
 		mine = append(mine, part...)
 	}
-	sort.Slice(mine, func(i, j int) bool { return mine[i].ID < mine[j].ID })
+	slices.SortFunc(mine, func(a, b idPos) int { return cmp.Compare(a.ID, b.ID) })
 	ownedIDs := make([]int32, len(mine))
 	pos := make([]geometry.Vec2, len(mine))
 	for i, ip := range mine {
 		ownedIDs[i] = ip.ID
 		pos[i] = ip.P
 	}
-	// Distributed directory for ghost-owner resolution.
-	dir := buildDirectory(sub, ownedIDs)
-	ownerOf := func(ids []int32) []int { return queryOwners(sub, dir, ids) }
+	// Distributed directory for ghost-owner resolution, memoised: the
+	// ghost set of a level is fixed, so the coalesced exchange runs once
+	// and later refreshes reuse the answer.
+	var cachedIDs []int32
+	var cachedOwners []int
+	ownerOf := func(ids []int32) []int {
+		if cachedOwners == nil || !slices.Equal(cachedIDs, ids) {
+			cachedIDs = slices.Clone(ids)
+			cachedOwners = resolveOwners(sub, ownedIDs, ids)
+		}
+		return cachedOwners
+	}
 	return newLevelState(sub, lat, g, ownedIDs, pos, ownerOf, opt.Force)
 }
 
-// buildDirectory publishes vertex ownership to hashed directory ranks:
-// the owner of vertex v is registered at rank v mod P.
-func buildDirectory(c *mpi.Comm, owned []int32) map[int32]int32 {
-	dest := make([][]int32, c.Size())
+// resolveOwners resolves the owning rank of each ghost id through a
+// hashed distributed directory (vertex v is tracked by rank v mod P),
+// with registration and query coalesced into a single exchange: the
+// message to directory rank d carries both the owned ids this rank
+// registers at d and the ghost ids it needs d to resolve, framed as
+// [nReg, nQuery, reg..., query...]. A second round returns the answers.
+//
+// The former protocol (register round, query round, answer round) sent
+// each directory partner one message per payload kind; this one sends
+// one message per partner each way, eliminating a full all-to-all round
+// — so fault-free virtual clocks only decrease, and results are
+// unchanged because the directory contents are identical.
+func resolveOwners(c *mpi.Comm, owned, ghosts []int32) []int {
+	p := c.Size()
+	regs := make([][]int32, p)
+	queries := make([][]int32, p)
+	posOf := make([][]int, p)
 	for _, id := range owned {
-		d := int(id) % c.Size()
-		dest[d] = append(dest[d], id)
+		d := int(id) % p
+		regs[d] = append(regs[d], id)
 	}
-	got := mpi.AllToAllV(c, dest, 4)
-	dir := make(map[int32]int32)
-	for src, ids := range got {
-		for _, id := range ids {
-			dir[id] = int32(src)
-		}
-	}
-	return dir
-}
-
-// queryOwners resolves the owning rank of each id through the hashed
-// directory built by buildDirectory (two all-to-all rounds).
-func queryOwners(c *mpi.Comm, dir map[int32]int32, ids []int32) []int {
-	queries := make([][]int32, c.Size())
-	posOf := make([][]int, c.Size())
-	for i, id := range ids {
-		d := int(id) % c.Size()
+	for i, id := range ghosts {
+		d := int(id) % p
 		queries[d] = append(queries[d], id)
 		posOf[d] = append(posOf[d], i)
 	}
-	asked := mpi.AllToAllV(c, queries, 4)
-	answers := make([][]int32, c.Size())
-	for src, qs := range asked {
-		if len(qs) == 0 {
+	dest := make([][]int32, p)
+	for d := 0; d < p; d++ {
+		if len(regs[d]) == 0 && len(queries[d]) == 0 {
 			continue
 		}
+		msg := make([]int32, 0, 2+len(regs[d])+len(queries[d]))
+		msg = append(msg, int32(len(regs[d])), int32(len(queries[d])))
+		msg = append(msg, regs[d]...)
+		msg = append(msg, queries[d]...)
+		dest[d] = msg
+	}
+	got := mpi.AllToAllV(c, dest, 4)
+	// Register every owned id first, then answer the queries: a query
+	// must see registrations from all ranks, not just earlier sources.
+	dir := make(map[int32]int32)
+	for src, msg := range got {
+		if len(msg) == 0 {
+			continue
+		}
+		for _, id := range msg[2 : 2+int(msg[0])] {
+			dir[id] = int32(src)
+		}
+	}
+	answers := make([][]int32, p)
+	for src, msg := range got {
+		if len(msg) == 0 || msg[1] == 0 {
+			continue
+		}
+		qs := msg[2+int(msg[0]):]
 		ans := make([]int32, len(qs))
 		for i, id := range qs {
 			owner, ok := dir[id]
@@ -238,7 +316,7 @@ func queryOwners(c *mpi.Comm, dir map[int32]int32, ids []int32) []int {
 		answers[src] = ans
 	}
 	replies := mpi.AllToAllV(c, answers, 4)
-	out := make([]int, len(ids))
+	out := make([]int, len(ghosts))
 	for d, reply := range replies {
 		for i, owner := range reply {
 			out[posOf[d][i]] = int(owner)

@@ -1,0 +1,49 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/coarsen"
+	"repro/internal/gen"
+	"repro/internal/mpi"
+)
+
+// benchLevelState builds a live levelState for steady-state smoothing
+// benchmarks: the whole graph is embedded on c's ranks through the
+// coarsest-level initialisation path (random coordinates, locally
+// computable ghost owners).
+func benchLevelState(c *mpi.Comm, g *gen.Generated, seed int64) *levelState {
+	lev := &coarsen.Level{G: g.G, Ranks: c.Size()}
+	opt := ParallelOptions{Seed: seed}.withDefaults()
+	return initCoarsest(c, lev, opt)
+}
+
+// BenchmarkSmooth measures the steady-state smoothing hot loop: each op
+// is two full staleness blocks (2·blockSize iterations), covering the
+// block-boundary ghost push + beta gather + energy reduction and the
+// within-block coalesced neighbour exchanges. Allocation counts here
+// are the regression target for the pooled communication fast paths.
+func BenchmarkSmooth(b *testing.B) {
+	const (
+		p  = 4
+		bs = 4
+	)
+	g := gen.Grid2D(64, 64)
+	b.ReportAllocs()
+	mpi.Run(p, mpi.DefaultModel(), func(c *mpi.Comm) {
+		st := benchLevelState(c, g, 7)
+		st.Smooth(2*bs, bs) // warm up pools and scratch buffers
+		c.Barrier()
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		c.Barrier()
+		for i := 0; i < b.N; i++ {
+			st.Smooth(2*bs, bs)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			b.StopTimer()
+		}
+	})
+}

@@ -138,9 +138,17 @@ func (e *InjectedFault) Error() string {
 	return fmt.Sprintf("injected fault: rank %d killed at communication event %d", e.Rank, e.Event)
 }
 
+// truncatable lets typed payloads (the pooled VecBuf fast paths) opt
+// into slice-like corruption under TruncatePayload faults.
+type truncatable interface{ truncate() any }
+
 // truncatePayload corrupts a payload the way TruncatePayload specifies:
-// slices lose their second half; everything else becomes nil.
+// slices (and pooled buffers) lose their second half; everything else
+// becomes nil.
 func truncatePayload(data any) any {
+	if t, ok := data.(truncatable); ok {
+		return t.truncate()
+	}
 	v := reflect.ValueOf(data)
 	if v.Kind() == reflect.Slice {
 		return v.Slice(0, v.Len()/2).Interface()

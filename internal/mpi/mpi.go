@@ -448,13 +448,19 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 	}
 	if deliver {
 		msg := message{src: c.rank, data: data, arrival: arrival, cost: cost}
-		c.beginWait(waitSend, op, to, 0, 0)
 		select {
 		case c.world.ranks[to].inbox <- msg:
-		case <-c.world.abortCh:
-			panic(abortSignal{})
+			// Fast path: the inbox had room, nothing blocked, so no
+			// waitInfo snapshot is needed for the watchdog.
+		default:
+			c.beginWait(waitSend, op, to, 0, 0)
+			select {
+			case c.world.ranks[to].inbox <- msg:
+			case <-c.world.abortCh:
+				panic(abortSignal{})
+			}
+			c.endWait()
 		}
-		c.endWait()
 	}
 	// A dropped message still charges the sender: the fault is on the
 	// wire, and no other rank's clock may move because of it.
@@ -475,6 +481,23 @@ func (c *Comm) Recv(from int) any {
 func (c *Comm) recvOp(from int, op string) any {
 	c.commEvent(op)
 	msg, ok := c.takePending(from)
+	if !ok {
+		// Fast path: drain whatever is already queued without blocking
+		// (and so without publishing a waitInfo for the watchdog).
+	drainLoop:
+		for {
+			select {
+			case in := <-c.state.inbox:
+				if in.src == from {
+					msg, ok = in, true
+					break drainLoop
+				}
+				c.state.pending[in.src] = append(c.state.pending[in.src], in)
+			default:
+				break drainLoop
+			}
+		}
+	}
 	if !ok {
 		c.beginWait(waitRecv, op, from, 0, 0)
 	recvLoop:
@@ -509,18 +532,18 @@ func (c *Comm) recvOp(from int, op string) any {
 	return msg.data
 }
 
-// takePending pops the oldest queued message from `from`, if any.
+// takePending pops the oldest queued message from `from`, if any. The
+// queue keeps its backing array (entries shift down in place) so
+// steady-state out-of-order delivery never reallocates.
 func (c *Comm) takePending(from int) (message, bool) {
 	q := c.state.pending[from]
 	if len(q) == 0 {
 		return message{}, false
 	}
 	msg := q[0]
-	if len(q) == 1 {
-		delete(c.state.pending, from)
-	} else {
-		c.state.pending[from] = q[1:]
-	}
+	copy(q, q[1:])
+	q[len(q)-1] = message{} // drop the payload reference for the GC
+	c.state.pending[from] = q[:len(q)-1]
 	return msg, true
 }
 

@@ -36,21 +36,34 @@ type Tree struct {
 // subdivision depth; beyond the cap, points accumulate in the same cell
 // and only contribute through its aggregate.
 func Build(pts []geometry.Vec2, mass []float64) *Tree {
+	t := &Tree{}
+	t.Rebuild(pts, mass)
+	return t
+}
+
+// Rebuild reconstructs the tree in place over a new point set, reusing
+// the node storage of previous builds. Iterative force loops that
+// rebuild the tree every step go through here to stay allocation-free
+// in steady state.
+func (t *Tree) Rebuild(pts []geometry.Vec2, mass []float64) {
 	if len(pts) == 0 {
-		return &Tree{}
+		t.nodes = t.nodes[:0]
+		t.pts, t.mass = nil, nil
+		return
 	}
-	t := &Tree{
-		bounds: squareBounds(geometry.BoundingRect(pts)),
-		pts:    pts,
-		mass:   mass,
+	t.bounds = squareBounds(geometry.BoundingRect(pts))
+	t.pts = pts
+	t.mass = mass
+	if cap(t.nodes) < 1 {
+		t.nodes = make([]node, 1, 2*len(pts))
+	} else {
+		t.nodes = t.nodes[:1]
 	}
-	t.nodes = make([]node, 1, 2*len(pts))
 	t.nodes[0] = emptyNode()
 	for i := range pts {
 		t.insert(0, int32(i), t.bounds, 0)
 	}
 	t.aggregate(0)
-	return t
 }
 
 func emptyNode() node {
