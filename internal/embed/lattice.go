@@ -815,3 +815,29 @@ func (d *Distributed) Owns(id int32) bool {
 	_, ok := d.localSlot[id]
 	return ok
 }
+
+// LocalSlot returns the OwnedIDs/OwnedPos index of an owned vertex.
+// Views built outside ParallelEmbed/SplitCoords (tests, benchmarks)
+// may lack the index maps; they are rebuilt on first use.
+func (d *Distributed) LocalSlot(id int32) (int32, bool) {
+	if d.localSlot == nil {
+		d.localSlot = make(map[int32]int32, len(d.OwnedIDs))
+		for i, v := range d.OwnedIDs {
+			d.localSlot[v] = int32(i)
+		}
+	}
+	li, ok := d.localSlot[id]
+	return li, ok
+}
+
+// GhostSlot returns the GhostIDs/GhostPos index of a ghost vertex.
+func (d *Distributed) GhostSlot(id int32) (int32, bool) {
+	if d.ghostSlot == nil {
+		d.ghostSlot = make(map[int32]int32, len(d.GhostIDs))
+		for i, v := range d.GhostIDs {
+			d.ghostSlot[v] = int32(i)
+		}
+	}
+	gi, ok := d.ghostSlot[id]
+	return gi, ok
+}

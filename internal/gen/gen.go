@@ -184,13 +184,23 @@ func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
 		b.AddEdge(int32(v), int32(m))
 		targets = append(targets, int32(v), int32(m))
 	}
+	chosen := make(map[int32]struct{}, m)
+	picks := make([]int32, 0, m)
 	for v := m + 1; v < n; v++ {
-		chosen := make(map[int32]struct{}, m)
+		clear(chosen)
+		picks = picks[:0]
 		for len(chosen) < m {
 			t := targets[rng.Intn(len(targets))]
+			if _, dup := chosen[t]; dup {
+				continue
+			}
 			chosen[t] = struct{}{}
+			picks = append(picks, t)
 		}
-		for t := range chosen {
+		// Attach in draw order, not map order: ranging over the set made
+		// the target list — and so every later degree-proportional draw,
+		// hence the whole graph — differ from run to run.
+		for _, t := range picks {
 			b.AddEdge(int32(v), t)
 			targets = append(targets, int32(v), t)
 		}

@@ -188,3 +188,22 @@ func TestCircuitHasShortsAndWires(t *testing.T) {
 		t.Fatal("circuit has no extra edges over the grid")
 	}
 }
+
+// TestBarabasiAlbertDeterministic guards the preferential-attachment
+// construction against map-iteration-order leaks: the target list must
+// grow in draw order, so the same seed yields the same graph in every
+// process. (kkt_power inherits this; its bench rows are tracked across
+// PRs and must be reproducible.)
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := KKTPower(4000, 7)
+	b := KKTPower(4000, 7)
+	if a.G.NumVertices() != b.G.NumVertices() || a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d vertices/edges",
+			a.G.NumVertices(), a.G.NumEdges(), b.G.NumVertices(), b.G.NumEdges())
+	}
+	for i := range a.G.Adjncy {
+		if a.G.Adjncy[i] != b.G.Adjncy[i] {
+			t.Fatalf("adjacency differs at arc %d", i)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package geometry
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // This file carries the geometric mesh partitioner's machinery one
@@ -71,23 +72,24 @@ func MoebiusToOrigin4(a Vec4) func(Vec4) Vec4 {
 }
 
 // RadonPoint4 computes a Radon point of six points in R⁴ (d+2 = 6).
-// The fallback mirrors RadonPoint's: centroid on degeneracy.
+// The fallback mirrors RadonPoint's: centroid on degeneracy. Like
+// RadonPoint, the elimination runs allocation-free on stack arrays.
 func RadonPoint4(pts [6]Vec4) (Vec4, bool) {
-	a := [][]float64{
+	m := [nvMaxRows][nvMaxCols]float64{
 		{pts[0].X, pts[1].X, pts[2].X, pts[3].X, pts[4].X, pts[5].X},
 		{pts[0].Y, pts[1].Y, pts[2].Y, pts[3].Y, pts[4].Y, pts[5].Y},
 		{pts[0].Z, pts[1].Z, pts[2].Z, pts[3].Z, pts[4].Z, pts[5].Z},
 		{pts[0].W, pts[1].W, pts[2].W, pts[3].W, pts[4].W, pts[5].W},
 		{1, 1, 1, 1, 1, 1},
 	}
-	l, ok := NullVector(a, 6)
+	l, ok := nullVectorFixed(&m, 5, 6)
 	if !ok {
 		return centroid4(pts[:]), false
 	}
 	var r Vec4
 	pos := 0.0
-	for i, li := range l {
-		if li > 0 {
+	for i := 0; i < 6; i++ {
+		if li := l[i]; li > 0 {
 			r = r.Add(pts[i].Scale(li))
 			pos += li
 		}
@@ -109,13 +111,20 @@ func centroid4(pts []Vec4) Vec4 {
 	return c.Scale(1 / float64(len(pts)))
 }
 
+// cpWork4 pools the Centerpoint4 working copy, mirroring cpWork3.
+var cpWork4 = sync.Pool{New: func() any { s := []Vec4(nil); return &s }}
+
 // Centerpoint4 estimates a centerpoint of points in R⁴ by iterated
 // Radon points, mirroring Centerpoint.
 func Centerpoint4(pts []Vec4, rng *rand.Rand) Vec4 {
 	if len(pts) == 0 {
 		panic("geometry: Centerpoint4 of empty point set")
 	}
-	work := append([]Vec4(nil), pts...)
+	wp := cpWork4.Get().(*[]Vec4)
+	buf := append((*wp)[:0], pts...)
+	*wp = buf
+	defer cpWork4.Put(wp)
+	work := buf
 	for len(work) > 6 {
 		rng.Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
 		next := work[:0:len(work)]

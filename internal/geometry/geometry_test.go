@@ -345,3 +345,49 @@ func TestRadonPoint4InHull(t *testing.T) {
 		}
 	}
 }
+
+// TestMoebiusValueMatchesClosure pins the Moebius value type to the
+// closure API: NewMoebius(a).Apply and MoebiusToOrigin(a) must produce
+// bit-identical images, including the shrink of a centre on or outside
+// the unit sphere — the batched partition kernel relies on it.
+func TestMoebiusValueMatchesClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	centres := []Vec3{
+		{}, {X: 0.2, Y: -0.3, Z: 0.4}, {X: 0.9, Y: 0.9, Z: 0.9}, {X: 1.5},
+	}
+	for i := 0; i < 20; i++ {
+		centres = append(centres, Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}.Scale(0.4))
+	}
+	for _, a := range centres {
+		mob := MoebiusToOrigin(a)
+		m := NewMoebius(a)
+		for i := 0; i < 50; i++ {
+			x := RandomUnitVec3(rng)
+			if mob(x) != m.Apply(x) {
+				t.Fatalf("Moebius value diverges from closure at a=%v x=%v", a, x)
+			}
+		}
+	}
+}
+
+// TestMoebiusApplyDots checks the fused kernel against separate apply
+// and dot calls.
+func TestMoebiusApplyDots(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	m := NewMoebius(Vec3{X: 0.3, Y: -0.1, Z: 0.2})
+	us := make([]Vec3, 5)
+	for i := range us {
+		us[i] = RandomUnitVec3(rng)
+	}
+	out := make([]float64, len(us))
+	for trial := 0; trial < 20; trial++ {
+		q := RandomUnitVec3(rng)
+		m.ApplyDots(q, us, out)
+		p := m.Apply(q)
+		for j, u := range us {
+			if out[j] != p.Dot(u) {
+				t.Fatalf("fused dot %d differs: %v vs %v", j, out[j], p.Dot(u))
+			}
+		}
+	}
+}

@@ -42,18 +42,50 @@ func StereoDown(q Vec3) Vec2 {
 // centerpoint estimate can land on (or, through rounding, outside) the
 // sphere only in degenerate inputs.
 func MoebiusToOrigin(a Vec3) func(Vec3) Vec3 {
+	m := NewMoebius(a)
+	return m.Apply
+}
+
+// Moebius is the ball automorphism of MoebiusToOrigin as a plain value,
+// so batched kernels can hold a slice of maps and apply them without a
+// closure allocation or indirect call per point. NewMoebius(a).Apply
+// computes bit-identical results to MoebiusToOrigin(a).
+type Moebius struct {
+	a  Vec3
+	aa float64
+}
+
+// NewMoebius returns the ball automorphism that maps a to the origin,
+// shrinking a to just inside the unit ball first when |a| >= 1 (see
+// MoebiusToOrigin).
+func NewMoebius(a Vec3) Moebius {
 	if n := a.Norm(); n >= 0.999 {
 		a = a.Scale(0.999 / n)
 	}
-	aa := a.Dot(a)
-	return func(x Vec3) Vec3 {
-		xa := x.Sub(a)
-		den := 1 - 2*x.Dot(a) + x.Dot(x)*aa
-		if den < 1e-12 {
-			den = 1e-12
-		}
-		num := xa.Scale(1 - aa).Sub(a.Scale(xa.Dot(xa)))
-		return num.Scale(1 / den)
+	return Moebius{a: a, aa: a.Dot(a)}
+}
+
+// Apply evaluates the automorphism at x.
+func (m Moebius) Apply(x Vec3) Vec3 {
+	a, aa := m.a, m.aa
+	xa := x.Sub(a)
+	den := 1 - 2*x.Dot(a) + x.Dot(x)*aa
+	if den < 1e-12 {
+		den = 1e-12
+	}
+	num := xa.Scale(1 - aa).Sub(a.Scale(xa.Dot(xa)))
+	return num.Scale(1 / den)
+}
+
+// ApplyDots is the fused projection kernel of the batched geometric
+// partitioner: it maps q through m once and writes q'·us[j] into
+// out[j]. out must have length len(us). The mapped point never hits
+// memory, so evaluating every separator direction of one Möbius map for
+// one vertex is a single cache-resident pass.
+func (m Moebius) ApplyDots(q Vec3, us []Vec3, out []float64) {
+	p := m.Apply(q)
+	for j, u := range us {
+		out[j] = p.Dot(u)
 	}
 }
 

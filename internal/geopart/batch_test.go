@@ -1,0 +1,272 @@
+package geopart
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+)
+
+// TestGatherSamplePinned pins the sampled (id, coordinate) sequence for
+// a fixed distribution: the sample feeds centerpoints, thresholds, and
+// strip widths, so a kernel change that silently alters it would shift
+// every downstream cut. Any intentional change to the sampling scheme
+// must update these literals consciously.
+func TestGatherSamplePinned(t *testing.T) {
+	want := []int32{0, 8, 16, 24, 4, 12, 20, 28, 32, 40, 48, 56, 36, 44, 52, 60}
+	g := gen.Grid2D(8, 8)
+	views := embed.SplitCoords(g.G, g.Coords, 4)
+	mpi.Run(4, mpi.DefaultModel(), func(c *mpi.Comm) {
+		s := gatherSample(c, views[c.Rank()], 16)
+		if len(s) != len(want) {
+			t.Errorf("rank %d: sample has %d entries, want %d", c.Rank(), len(s), len(want))
+			return
+		}
+		for i, e := range s {
+			if e.ID != want[i] {
+				t.Errorf("rank %d: sample[%d].ID = %d, want %d", c.Rank(), i, e.ID, want[i])
+				return
+			}
+			if p, ok := views[c.Rank()].PosOf(e.ID); ok && p != e.P {
+				t.Errorf("rank %d: sample[%d] carries stale coordinate", c.Rank(), i)
+			}
+		}
+	})
+}
+
+// TestGatherSamplePresized checks that the local contribution is built
+// without reallocation: capacity len(OwnedIDs)/stride+1 bounds the
+// stride-loop count.
+func TestGatherSamplePresized(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 1000} {
+		for _, per := range []int{1, 5, 4097} {
+			stride := n/per + 1
+			count := 0
+			for i := 0; i < n; i += stride {
+				count++
+			}
+			if capacity := n/stride + 1; count > capacity {
+				t.Fatalf("n=%d per=%d: %d entries exceed presized capacity %d", n, per, count, capacity)
+			}
+		}
+	}
+}
+
+// TestEdgeCacheResolvesEndpoints cross-checks the edge topology cache
+// against the reference resolution (ghost map, owned binary search) on
+// every rank of a split view.
+func TestEdgeCacheResolvesEndpoints(t *testing.T) {
+	g := gen.DelaunayRandom(2000, 3)
+	const p = 8
+	views := embed.SplitCoords(g.G, g.Coords, p)
+	for r := 0; r < p; r++ {
+		d := views[r]
+		ec := buildEdgeCache(g.G, d)
+		nOwn := len(d.OwnedIDs)
+		if ec.nOwn != nOwn || ec.nGhost != len(d.GhostIDs) {
+			t.Fatalf("rank %d: cache sized %d/%d, want %d/%d", r, ec.nOwn, ec.nGhost, nOwn, len(d.GhostIDs))
+		}
+		cutEdges := 0
+		for i, id := range d.OwnedIDs {
+			if got, wantN := ec.start[i+1]-ec.start[i], g.G.XAdj[id+1]-g.G.XAdj[id]; got != wantN {
+				t.Fatalf("rank %d vertex %d: %d cached neighbours, want %d", r, id, got, wantN)
+			}
+			for e := g.G.XAdj[id]; e < g.G.XAdj[id+1]; e++ {
+				nb := g.G.Adjncy[e]
+				s := ec.slot[int(ec.start[i])+int(e-g.G.XAdj[id])]
+				want := int32(-1)
+				if li, ok := ownedIndex(d, nb); ok {
+					want = li
+				} else if gi, ok := d.GhostSlot(nb); ok {
+					want = int32(nOwn) + gi
+				}
+				if s != want {
+					t.Fatalf("rank %d edge %d->%d: slot %d, want %d", r, id, nb, s, want)
+				}
+				if nb > id && want >= 0 {
+					cutEdges++
+				}
+			}
+		}
+		if len(ec.cutA) != cutEdges || len(ec.cutB) != cutEdges || len(ec.cutW) != cutEdges {
+			t.Fatalf("rank %d: cut view has %d/%d/%d edges, want %d", r, len(ec.cutA), len(ec.cutB), len(ec.cutW), cutEdges)
+		}
+		ec.release()
+	}
+}
+
+// TestBatchedKernelMatchesLegacy runs SP-PG7-NL and parallel RCB with
+// the batched kernel on and off and requires identical cuts, sides,
+// weights, and strip sizes. The full clock comparison across the P
+// sweep lives in core's TestBatchingBitIdentical; this is the
+// package-local fast check.
+func TestBatchedKernelMatchesLegacy(t *testing.T) {
+	g := gen.DelaunayRandom(4000, 5)
+	for _, p := range []int{1, 4, 16} {
+		run := func(batched bool) ([]int32, *ParallelResult, *ParallelResult) {
+			defer SetBatching(SetBatching(batched))
+			views := embed.SplitCoords(g.G, g.Coords, p)
+			part := make([]int32, g.G.NumVertices())
+			var sp, rcb *ParallelResult
+			mpi.Run(p, mpi.DefaultModel(), func(c *mpi.Comm) {
+				res := ParallelPartition(c, g.G, views[c.Rank()], DefaultParallelConfig())
+				for i, id := range res.OwnedIDs {
+					part[id] = res.Side[i]
+				}
+				r2 := ParallelRCB(c, g.G, views[c.Rank()])
+				if c.Rank() == 0 {
+					sp, rcb = res, r2
+				}
+			})
+			return part, sp, rcb
+		}
+		bPart, bSP, bRCB := run(true)
+		lPart, lSP, lRCB := run(false)
+		if bSP.Cut != lSP.Cut || bSP.CutBefore != lSP.CutBefore || bSP.SideW != lSP.SideW || bSP.StripSize != lSP.StripSize {
+			t.Fatalf("P=%d SP results differ: batched %+v legacy %+v", p, bSP, lSP)
+		}
+		if bRCB.Cut != lRCB.Cut || bRCB.SideW != lRCB.SideW {
+			t.Fatalf("P=%d RCB results differ: batched %+v legacy %+v", p, bRCB, lRCB)
+		}
+		for v := range bPart {
+			if bPart[v] != lPart[v] {
+				t.Fatalf("P=%d vertex %d: side %d batched, %d legacy", p, v, bPart[v], lPart[v])
+			}
+		}
+	}
+}
+
+// TestParallelPartitionSteadyStateAllocs guards the batched kernel's
+// allocation budget: once the edge-cache and kernel-scratch pools are
+// warm, repeated partition calls must not reallocate the projection
+// block, the side bitsets, or the topology cache. The bound is
+// world-wide per call and leaves headroom for the per-call result,
+// sample, and strip structures that are intentionally fresh.
+func TestParallelPartitionSteadyStateAllocs(t *testing.T) {
+	const (
+		p     = 4
+		calls = 10
+	)
+	g := gen.Grid2D(64, 64)
+	views := embed.SplitCoords(g.G, g.Coords, p)
+	cfg := DefaultParallelConfig()
+	var perCall float64
+	mpi.Run(p, mpi.DefaultModel(), func(c *mpi.Comm) {
+		for i := 0; i < 3; i++ { // warm pools
+			ParallelPartition(c, g.G, views[c.Rank()], cfg)
+		}
+		c.Barrier()
+		var m0, m1 runtime.MemStats
+		if c.Rank() == 0 {
+			runtime.ReadMemStats(&m0)
+		}
+		c.Barrier()
+		for i := 0; i < calls; i++ {
+			ParallelPartition(c, g.G, views[c.Rank()], cfg)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			runtime.ReadMemStats(&m1)
+			perCall = float64(m1.Mallocs-m0.Mallocs) / calls
+		}
+		c.Barrier()
+	})
+	if perCall > 900 {
+		t.Errorf("steady-state ParallelPartition: %.0f mallocs per call (world-wide), want well under 900", perCall)
+	}
+	t.Logf("steady-state ParallelPartition: %.0f mallocs per call across %d ranks", perCall, p)
+}
+
+// benchGeo builds the benchmark workload once per (graph, P).
+func benchViews(b *testing.B, p int) (*gen.Generated, []*embed.Distributed) {
+	b.Helper()
+	g := gen.Grid2D(128, 128)
+	return g, embed.SplitCoords(g.G, g.Coords, p)
+}
+
+// BenchmarkParallelPartition measures the full SP-PG7-NL bisection
+// (simulated world included) with the batched kernel and with the
+// legacy per-candidate kernel, at P=4 and P=16.
+func BenchmarkParallelPartition(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		for _, mode := range []struct {
+			name    string
+			batched bool
+		}{{"batched", true}, {"legacy", false}} {
+			b.Run(fmt.Sprintf("P%d/%s", p, mode.name), func(b *testing.B) {
+				g, views := benchViews(b, p)
+				defer SetBatching(SetBatching(mode.batched))
+				cfg := DefaultParallelConfig()
+				var cut int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mpi.Run(p, mpi.DefaultModel(), func(c *mpi.Comm) {
+						res := ParallelPartition(c, g.G, views[c.Rank()], cfg)
+						if c.Rank() == 0 {
+							cut = res.Cut
+						}
+					})
+				}
+				b.ReportMetric(float64(cut), "cut")
+			})
+		}
+	}
+}
+
+// BenchmarkRCBParallel measures the parallel RCB single cut with the
+// edge-cache kernel and with the legacy per-edge resolution.
+func BenchmarkRCBParallel(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		for _, mode := range []struct {
+			name    string
+			batched bool
+		}{{"batched", true}, {"legacy", false}} {
+			b.Run(fmt.Sprintf("P%d/%s", p, mode.name), func(b *testing.B) {
+				g, views := benchViews(b, p)
+				defer SetBatching(SetBatching(mode.batched))
+				var cut int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mpi.Run(p, mpi.DefaultModel(), func(c *mpi.Comm) {
+						res := ParallelRCB(c, g.G, views[c.Rank()])
+						if c.Rank() == 0 {
+							cut = res.Cut
+						}
+					})
+				}
+				b.ReportMetric(float64(cut), "cut")
+			})
+		}
+	}
+}
+
+// TestEdgeCacheRemoteSlot: a view whose ghost ring misses a neighbour
+// must skip the edge (slot -1), matching the legacy "neither owned nor
+// ghost" branch.
+func TestEdgeCacheRemoteSlot(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	d := &embed.Distributed{
+		OwnedIDs: []int32{0, 1},
+		GhostIDs: []int32{}, // vertex 2 is adjacent but not ghosted
+	}
+	ec := buildEdgeCache(g, d)
+	defer ec.release()
+	// Vertex 1's neighbour 2 must resolve to -1 and produce no cut edge.
+	for _, s := range ec.slot {
+		if s >= 2 {
+			t.Fatalf("cache resolved a slot %d beyond the view", s)
+		}
+	}
+	if len(ec.cutA) != 1 {
+		t.Fatalf("cut view has %d edges, want 1 (0-1 only)", len(ec.cutA))
+	}
+}

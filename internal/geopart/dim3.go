@@ -53,20 +53,25 @@ func Partition3D(g *graph.Graph, coords []geometry.Vec3, cfg Config) ([]int32, S
 	}
 	perCP := cfg.GreatCircles / cfg.Centerpoints
 	extra := cfg.GreatCircles % cfg.Centerpoints
+	sample4 := make([]geometry.Vec4, len(sampleIdx))
+	mapped := make([]geometry.Vec4, n)
 	for cp := 0; cp < cfg.Centerpoints; cp++ {
-		sample4 := make([]geometry.Vec4, len(sampleIdx))
 		for i, idx := range sampleIdx {
 			sample4[i] = lifted[idx]
 		}
 		center := geometry.Centerpoint4(sample4, rng)
-		mob := geometry.MoebiusToOrigin4(center)
-		mapped := make([]geometry.Vec4, n)
-		for i, q := range lifted {
-			mapped[i] = mob(q)
-		}
 		circles := perCP
 		if cp < extra {
 			circles++
+		}
+		if circles == 0 {
+			// Same skip as Partition: keep the RNG stream, drop the
+			// wasted O(n) conformal map.
+			continue
+		}
+		mob := geometry.MoebiusToOrigin4(center)
+		for i, q := range lifted {
+			mapped[i] = mob(q)
 		}
 		for t := 0; t < circles; t++ {
 			u := geometry.RandomUnitVec4(rng)

@@ -138,20 +138,27 @@ func Partition(g *graph.Graph, coords []geometry.Vec2, cfg Config) ([]int32, Sta
 
 	perCP := cfg.GreatCircles / cfg.Centerpoints
 	extra := cfg.GreatCircles % cfg.Centerpoints
+	sample3 := make([]geometry.Vec3, len(sampleIdx))
+	mapped := make([]geometry.Vec3, n)
 	for cp := 0; cp < cfg.Centerpoints; cp++ {
-		sample3 := make([]geometry.Vec3, len(sampleIdx))
 		for i, idx := range sampleIdx {
 			sample3[i] = lifted[idx]
 		}
 		center := geometry.Centerpoint(sample3, rng)
-		mob := geometry.MoebiusToOrigin(center)
-		mapped := make([]geometry.Vec3, n)
-		for i, q := range lifted {
-			mapped[i] = mob(q)
-		}
 		circles := perCP
 		if cp < extra {
 			circles++
+		}
+		if circles == 0 {
+			// A centerpoint with no great circles contributes nothing;
+			// the Radon iteration above keeps the RNG stream (and thus
+			// every candidate) unchanged, but the O(n) conformal map
+			// would be pure waste.
+			continue
+		}
+		mob := geometry.NewMoebius(center)
+		for i, q := range lifted {
+			mapped[i] = mob.Apply(q)
 		}
 		for t := 0; t < circles; t++ {
 			u := geometry.RandomUnitVec3(rng)

@@ -68,12 +68,98 @@ func valueAbove(val float64, id int32, tVal float64, tID int32) bool {
 	return id > tID
 }
 
+// candSet is the great-circle candidate set, built redundantly and
+// deterministically on every rank: per retained centerpoint one Möbius
+// map, and per candidate a direction with its sampled median threshold.
+// Candidates of centerpoint m occupy the contiguous index range
+// [mobStart[m], mobStart[m+1]).
+type candSet struct {
+	ms       []geometry.Moebius
+	dirs     []geometry.Vec3
+	tVal     []float64
+	tID      []int32
+	mobOf    []int32 // candidate -> centerpoint index
+	mobStart []int32 // len(ms)+1 prefix offsets into dirs
+}
+
+// buildCandidates constructs the candidate set from the gathered
+// sample. Centerpoints that would receive zero great circles (possible
+// when GreatCircles < Centerpoints) form a tail of the round-robin
+// split; they are skipped entirely — no Radon centerpoint iteration,
+// no mapping of the sample — since they contribute no candidates, and
+// all RNG draws that feed candidates happen before the tail.
+func buildCandidates(cfg ParallelConfig, rng *rand.Rand, sample3 []geometry.Vec3) candSet {
+	count := len(sample3)
+	var cs candSet
+	cs.mobStart = append(cs.mobStart, 0)
+	mappedSample := make([]geometry.Vec3, count)
+	vals := make([]float64, count)
+	perCP := cfg.GreatCircles / cfg.Centerpoints
+	extra := cfg.GreatCircles % cfg.Centerpoints
+	for cp := 0; cp < cfg.Centerpoints; cp++ {
+		circles := perCP
+		if cp < extra {
+			circles++
+		}
+		if circles == 0 {
+			break
+		}
+		center := geometry.Vec3{}
+		if count > 0 {
+			center = geometry.Centerpoint(sample3, rng)
+		}
+		m := geometry.NewMoebius(center)
+		cs.ms = append(cs.ms, m)
+		for i, q := range sample3 {
+			mappedSample[i] = m.Apply(q)
+		}
+		for t := 0; t < circles; t++ {
+			u := geometry.RandomUnitVec3(rng)
+			// Median over the sample = balanced threshold. Mapped
+			// sphere values are continuous, so ties are measure-zero
+			// and the id tie-break (needed for symmetric integer
+			// coordinates in RCB) defaults to 0.
+			for i, q := range mappedSample {
+				vals[i] = q.Dot(u)
+			}
+			tVal := 0.0
+			if count > 0 {
+				tVal = stats.QuickSelect(vals, count/2)
+			}
+			cs.dirs = append(cs.dirs, u)
+			cs.tVal = append(cs.tVal, tVal)
+			cs.tID = append(cs.tID, 0)
+			cs.mobOf = append(cs.mobOf, int32(len(cs.ms)-1))
+		}
+		cs.mobStart = append(cs.mobStart, int32(len(cs.dirs)))
+	}
+	return cs
+}
+
+// evaluated is what the selection and refinement stages consume from a
+// candidate-evaluation kernel, independent of which kernel produced it:
+// the reduced (cut, w0, w1) triples plus accessors for the winning
+// candidate's sides and separator values.
+type evaluated struct {
+	global       []int64 // reduced contrib: (cut, w0, w1) per candidate
+	ec           *edgeCache
+	sideOf       func(k, i int) bool
+	fillValOwned func(k int, out []float64)
+	fillValGhost func(k int, out []float64)
+	release      func()
+}
+
 // ParallelPartition bisects g in parallel from a distributed embedding:
 // a gathered coordinate sample yields centerpoints (computed
 // redundantly on every rank, as in the paper), random great circles
 // become candidates whose cut and balance contributions are reduced
 // across ranks, and the best candidate is refined by FM on a
 // coordinate strip around the separating circle.
+//
+// Candidate evaluation runs the batched kernel (edge topology cache,
+// fused projections, packed side bitsets) unless SetBatching disabled
+// it; both kernels produce bit-identical cuts, sides, and virtual
+// clocks — batching only changes host wall-clock and allocations.
 func ParallelPartition(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg ParallelConfig) *ParallelResult {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed + 17))
@@ -102,89 +188,217 @@ func ParallelPartition(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Pa
 	norm := func(p geometry.Vec2) geometry.Vec2 { return p.Sub(centroid).Scale(scale) }
 
 	// Candidate construction (redundant, deterministic on all ranks).
-	type cand struct {
-		mob   func(geometry.Vec3) geometry.Vec3
-		u     geometry.Vec3
-		tVal  float64
-		tID   int32
-		mobID int
-	}
 	sample3 := make([]geometry.Vec3, count)
 	for i, s := range sample {
 		sample3[i] = geometry.StereoUp(norm(s.P))
 	}
-	var cands []cand
-	var mobs []func(geometry.Vec3) geometry.Vec3
-	perCP := cfg.GreatCircles / cfg.Centerpoints
-	extra := cfg.GreatCircles % cfg.Centerpoints
-	for cp := 0; cp < cfg.Centerpoints; cp++ {
-		center := geometry.Vec3{}
-		if count > 0 {
-			center = geometry.Centerpoint(sample3, rng)
-		}
-		mob := geometry.MoebiusToOrigin(center)
-		mobs = append(mobs, mob)
-		mappedSample := make([]geometry.Vec3, count)
-		for i, q := range sample3 {
-			mappedSample[i] = mob(q)
-		}
-		circles := perCP
-		if cp < extra {
-			circles++
-		}
-		vals := make([]float64, count)
-		for t := 0; t < circles; t++ {
-			u := geometry.RandomUnitVec3(rng)
-			// Median over the sample = balanced threshold. Mapped
-			// sphere values are continuous, so ties are measure-zero
-			// and the id tie-break (needed for symmetric integer
-			// coordinates in RCB) defaults to 0.
-			for i, q := range mappedSample {
-				vals[i] = q.Dot(u)
-			}
-			tVal, tID := 0.0, int32(0)
-			if count > 0 {
-				tVal = stats.QuickSelect(vals, count/2)
-			}
-			cands = append(cands, cand{mob: mob, u: u, tVal: tVal, tID: tID, mobID: cp})
+	cs := buildCandidates(cfg, rng, sample3)
+	if len(cs.dirs) == 0 {
+		panic("geopart: ParallelPartition needs at least one great-circle candidate")
+	}
+	ncand := len(cs.dirs)
+
+	// Evaluate every candidate locally and reduce (cut, w0, w1) triples.
+	var ev *evaluated
+	if batchingOn.Load() {
+		ev = evaluateBatched(c, g, d, &cs, norm)
+	} else {
+		ev = evaluateLegacy(c, g, d, &cs, norm)
+	}
+	defer ev.release()
+
+	// Select the best balanced candidate (identical on all ranks).
+	bestK := -1
+	bestCut := int64(math.MaxInt64)
+	for k := 0; k < ncand; k++ {
+		cut, w0, w1 := ev.global[3*k], ev.global[3*k+1], ev.global[3*k+2]
+		imb := imbalance2(w0, w1)
+		if imb <= cfg.BalanceTol && cut < bestCut {
+			bestCut = cut
+			bestK = k
 		}
 	}
+	if bestK < 0 {
+		// No candidate within tolerance: take the most balanced one.
+		bestImb := math.Inf(1)
+		for k := 0; k < ncand; k++ {
+			if imb := imbalance2(ev.global[3*k+1], ev.global[3*k+2]); imb < bestImb {
+				bestImb = imb
+				bestK = k
+			}
+		}
+		bestCut = ev.global[3*bestK]
+	}
+
+	nOwn, nGhost := len(d.OwnedIDs), len(d.GhostIDs)
+	res := &ParallelResult{
+		OwnedIDs:  d.OwnedIDs,
+		Side:      make([]int32, nOwn),
+		Cut:       bestCut,
+		CutBefore: bestCut,
+		SideW:     [2]int64{ev.global[3*bestK+1], ev.global[3*bestK+2]},
+		Tries:     ncand,
+	}
+	for i := 0; i < nOwn; i++ {
+		if ev.sideOf(bestK, i) {
+			res.Side[i] = 1
+		}
+	}
+	res.Imbalance = imbalance2(res.SideW[0], res.SideW[1])
+
+	if cfg.Refine && g.NumVertices() > 4 {
+		valOwned := make([]float64, nOwn)
+		ev.fillValOwned(bestK, valOwned)
+		valGhost := make([]float64, nGhost)
+		ev.fillValGhost(bestK, valGhost)
+		bestMob := cs.ms[cs.mobOf[bestK]]
+		bestU, bestT := cs.dirs[bestK], cs.tVal[bestK]
+		sampleAbs := make([]float64, count)
+		for i, q := range sample3 {
+			sampleAbs[i] = math.Abs(bestMob.Apply(q).Dot(bestU) - bestT)
+		}
+		refineStrip(c, g, d, cfg, ev.ec, valOwned, valGhost, sampleAbs, bestT, totalW, res)
+	}
+	return res
+}
+
+// evaluateBatched is the candidate-batched kernel: one edge topology
+// cache shared by every candidate, a fused per-vertex projection pass
+// that evaluates all candidate dot products for a vertex while its
+// lifted point is cache-resident, packed side bitsets over owned+ghost
+// slots, and a branchless XOR cut count over the edge cache. Charges
+// and reduced values are bit-identical to evaluateLegacy.
+func evaluateBatched(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cs *candSet, norm func(geometry.Vec2) geometry.Vec2) *evaluated {
+	nOwn, nGhost := len(d.OwnedIDs), len(d.GhostIDs)
+	ncand := len(cs.dirs)
+	ec := buildEdgeCache(g, d)
+	sc, words := getKernelScratch(ncand, nOwn, nGhost)
+	block, bits := sc.block, sc.bits
+
+	// The legacy kernel charges one pre-mapping pass per centerpoint
+	// and one scan per candidate; the batched kernel does the same work
+	// fused, so it charges identically — only host time drops.
+	for range cs.ms {
+		c.Charge(float64(nOwn+nGhost) * 6)
+	}
+
+	contrib := make([]int64, 3*ncand)
+	// Owned pass: lift each vertex once, evaluate every candidate while
+	// the point is hot, and fold sides and weights in the same sweep.
+	for v := 0; v < nOwn; v++ {
+		id := d.OwnedIDs[v]
+		p3 := geometry.StereoUp(norm(d.OwnedPos[v]))
+		row := block[v*ncand : (v+1)*ncand]
+		for m := range cs.ms {
+			lo, hi := cs.mobStart[m], cs.mobStart[m+1]
+			cs.ms[m].ApplyDots(p3, cs.dirs[lo:hi], row[lo:hi])
+		}
+		w := int64(g.VertexWeight(id))
+		word := v >> 6
+		bit := uint64(1) << (uint(v) & 63)
+		for k := 0; k < ncand; k++ {
+			if valueAbove(row[k], id, cs.tVal[k], cs.tID[k]) {
+				bits[k*words+word] |= bit
+				contrib[3*k+2] += w
+			} else {
+				contrib[3*k+1] += w
+			}
+		}
+	}
+	// Ghost pass: same fused evaluation, sides only, into the ghost
+	// region of each candidate's bitset. Values are not materialised —
+	// the winning candidate's ghost values are recomputed once after
+	// selection.
+	row := sc.ghostRow
+	for gi := 0; gi < nGhost; gi++ {
+		id := d.GhostIDs[gi]
+		p3 := geometry.StereoUp(norm(d.GhostPos[gi]))
+		for m := range cs.ms {
+			lo, hi := cs.mobStart[m], cs.mobStart[m+1]
+			cs.ms[m].ApplyDots(p3, cs.dirs[lo:hi], row[lo:hi])
+		}
+		slot := nOwn + gi
+		word := slot >> 6
+		bit := uint64(1) << (uint(slot) & 63)
+		for k := 0; k < ncand; k++ {
+			if valueAbove(row[k], id, cs.tVal[k], cs.tID[k]) {
+				bits[k*words+word] |= bit
+			}
+		}
+	}
+	for k := 0; k < ncand; k++ {
+		contrib[3*k] = ec.countCut(bits[k*words : (k+1)*words])
+		c.Charge(float64(nOwn) * 4)
+	}
+	global := mpi.AllReduceSlice(c, contrib, 8, mpi.SumInt64)
+
+	return &evaluated{
+		global: global,
+		ec:     ec,
+		sideOf: func(k, i int) bool {
+			return bits[k*words+(i>>6)]>>(uint(i)&63)&1 == 1
+		},
+		fillValOwned: func(k int, out []float64) {
+			for i := range out {
+				out[i] = block[i*ncand+k]
+			}
+		},
+		fillValGhost: func(k int, out []float64) {
+			m := cs.ms[cs.mobOf[k]]
+			u := cs.dirs[k]
+			for gi := range out {
+				out[gi] = m.Apply(geometry.StereoUp(norm(d.GhostPos[gi]))).Dot(u)
+			}
+		},
+		release: func() {
+			sc.release()
+			ec.release()
+		},
+	}
+}
+
+// evaluateLegacy is the original per-candidate kernel, kept verbatim as
+// the reference implementation behind SetBatching(false): owned and
+// ghost points are pre-mapped per centerpoint into materialised []Vec3
+// arrays, and every candidate re-scans the full owned adjacency with a
+// ghost map lookup or an owned binary search per edge endpoint.
+func evaluateLegacy(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cs *candSet, norm func(geometry.Vec2) geometry.Vec2) *evaluated {
+	nOwn, nGhost := len(d.OwnedIDs), len(d.GhostIDs)
+	ncand := len(cs.dirs)
 
 	// Pre-map owned and ghost points once per centerpoint.
-	nOwn, nGhost := len(d.OwnedIDs), len(d.GhostIDs)
-	mappedOwn := make([][]geometry.Vec3, len(mobs))
-	mappedGhost := make([][]geometry.Vec3, len(mobs))
-	for m, mob := range mobs {
+	mappedOwn := make([][]geometry.Vec3, len(cs.ms))
+	mappedGhost := make([][]geometry.Vec3, len(cs.ms))
+	for m := range cs.ms {
+		mob := cs.ms[m]
 		mo := make([]geometry.Vec3, nOwn)
 		for i, p := range d.OwnedPos {
-			mo[i] = mob(geometry.StereoUp(norm(p)))
+			mo[i] = mob.Apply(geometry.StereoUp(norm(p)))
 		}
 		mg := make([]geometry.Vec3, nGhost)
 		for i, p := range d.GhostPos {
-			mg[i] = mob(geometry.StereoUp(norm(p)))
+			mg[i] = mob.Apply(geometry.StereoUp(norm(p)))
 		}
 		mappedOwn[m], mappedGhost[m] = mo, mg
 		c.Charge(float64(nOwn+nGhost) * 6)
 	}
 
-	if len(cands) == 0 {
-		panic("geopart: ParallelPartition needs at least one great-circle candidate")
-	}
 	// Evaluate every candidate locally: cut and side weights.
 	ghostSlotOf := make(map[int32]int32, nGhost)
 	for i, id := range d.GhostIDs {
 		ghostSlotOf[id] = int32(i)
 	}
-	ncand := len(cands)
 	contrib := make([]int64, 3*ncand)
 	sideBuf := make([][]bool, ncand) // per candidate: side of each owned vertex
-	for k, cd := range cands {
+	for k := 0; k < ncand; k++ {
+		mobID := cs.mobOf[k]
+		u, tVal, tID := cs.dirs[k], cs.tVal[k], cs.tID[k]
 		sides := make([]bool, nOwn)
 		cut := int64(0)
 		var w0, w1 int64
 		for i, id := range d.OwnedIDs {
-			v := mappedOwn[cd.mobID][i].Dot(cd.u)
-			s := valueAbove(v, id, cd.tVal, cd.tID)
+			v := mappedOwn[mobID][i].Dot(u)
+			s := valueAbove(v, id, tVal, tID)
 			sides[i] = s
 			if s {
 				w1 += int64(g.VertexWeight(id))
@@ -200,7 +414,7 @@ func ParallelPartition(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Pa
 				}
 				var nbSide bool
 				if slot, ok := ghostSlotOf[nb]; ok {
-					nbSide = valueAbove(mappedGhost[cd.mobID][slot].Dot(cd.u), nb, cd.tVal, cd.tID)
+					nbSide = valueAbove(mappedGhost[mobID][slot].Dot(u), nb, tVal, tID)
 				} else if li, ok2 := ownedIndex(d, nb); ok2 {
 					nbSide = sides[li]
 				} else {
@@ -219,61 +433,21 @@ func ParallelPartition(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Pa
 	}
 	global := mpi.AllReduceSlice(c, contrib, 8, mpi.SumInt64)
 
-	// Select the best balanced candidate (identical on all ranks).
-	bestK := -1
-	bestCut := int64(math.MaxInt64)
-	for k := 0; k < ncand; k++ {
-		cut, w0, w1 := global[3*k], global[3*k+1], global[3*k+2]
-		imb := imbalance2(w0, w1)
-		if imb <= cfg.BalanceTol && cut < bestCut {
-			bestCut = cut
-			bestK = k
-		}
-	}
-	if bestK < 0 {
-		// No candidate within tolerance: take the most balanced one.
-		bestImb := math.Inf(1)
-		for k := 0; k < ncand; k++ {
-			if imb := imbalance2(global[3*k+1], global[3*k+2]); imb < bestImb {
-				bestImb = imb
-				bestK = k
+	return &evaluated{
+		global: global,
+		sideOf: func(k, i int) bool { return sideBuf[k][i] },
+		fillValOwned: func(k int, out []float64) {
+			for i := range out {
+				out[i] = mappedOwn[cs.mobOf[k]][i].Dot(cs.dirs[k])
 			}
-		}
-		bestCut = global[3*bestK]
+		},
+		fillValGhost: func(k int, out []float64) {
+			for i := range out {
+				out[i] = mappedGhost[cs.mobOf[k]][i].Dot(cs.dirs[k])
+			}
+		},
+		release: func() {},
 	}
-
-	res := &ParallelResult{
-		OwnedIDs:  d.OwnedIDs,
-		Side:      make([]int32, nOwn),
-		Cut:       bestCut,
-		CutBefore: bestCut,
-		SideW:     [2]int64{global[3*bestK+1], global[3*bestK+2]},
-		Tries:     ncand,
-	}
-	for i, s := range sideBuf[bestK] {
-		if s {
-			res.Side[i] = 1
-		}
-	}
-	res.Imbalance = imbalance2(res.SideW[0], res.SideW[1])
-
-	if cfg.Refine && g.NumVertices() > 4 {
-		best := cands[bestK]
-		valOwned := make([]float64, nOwn)
-		for i := range valOwned {
-			valOwned[i] = mappedOwn[best.mobID][i].Dot(best.u)
-		}
-		valGhost := make([]float64, nGhost)
-		for i := range valGhost {
-			valGhost[i] = mappedGhost[best.mobID][i].Dot(best.u)
-		}
-		sampleAbs := make([]float64, count)
-		for i, q := range sample3 {
-			sampleAbs[i] = math.Abs(mobs[best.mobID](q).Dot(best.u) - best.tVal)
-		}
-		refineStrip(c, g, d, cfg, valOwned, valGhost, sampleAbs, best.tVal, totalW, res)
-	}
-	return res
 }
 
 // ownedIndex binary-searches the local index of an owned vertex; owned
@@ -307,12 +481,15 @@ func imbalance2(w0, w1 int64) float64 {
 }
 
 // gatherSample collects an id-tagged coordinate sample of roughly
-// `target` global entries, identical on every rank.
+// `target` global entries, identical on every rank. The local slice is
+// pre-sized: the stride loop contributes exactly
+// ceil(len(OwnedIDs)/stride) <= len(OwnedIDs)/stride + 1 entries.
 func gatherSample(c *mpi.Comm, d *embed.Distributed, target int) []sampleEntry {
 	per := target/c.Size() + 1
 	var mine []sampleEntry
 	if len(d.OwnedIDs) > 0 {
 		stride := len(d.OwnedIDs)/per + 1
+		mine = make([]sampleEntry, 0, len(d.OwnedIDs)/stride+1)
 		for i := 0; i < len(d.OwnedIDs); i += stride {
 			mine = append(mine, sampleEntry{ID: d.OwnedIDs[i], P: d.OwnedPos[i]})
 		}

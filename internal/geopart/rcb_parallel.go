@@ -14,6 +14,10 @@ import (
 // with the median estimated from a gathered sample as Zoltan does. Its
 // communication is three short collectives, which is why RCB is the
 // scalability yardstick of the paper.
+//
+// The cut count runs over the edge topology cache (pure array
+// indexing) unless SetBatching disabled it; results and clocks are
+// bit-identical either way.
 func ParallelRCB(c *mpi.Comm, g *graph.Graph, d *embed.Distributed) *ParallelResult {
 	sample := gatherSample(c, d, 4096)
 	// Global extent (from the sample; the cut only needs the wider
@@ -79,35 +83,62 @@ func ParallelRCB(c *mpi.Comm, g *graph.Graph, d *embed.Distributed) *ParallelRes
 	nOwn := len(d.OwnedIDs)
 	sides := make([]bool, nOwn)
 	var cut, w0, w1 int64
-	ghostSlotOf := make(map[int32]int32, len(d.GhostIDs))
-	for i, id := range d.GhostIDs {
-		ghostSlotOf[id] = int32(i)
-	}
-	for i, id := range d.OwnedIDs {
-		s := valueAbove(axis(i), id, tVal, tID)
-		sides[i] = s
-		if s {
-			w1 += int64(g.VertexWeight(id))
-		} else {
-			w0 += int64(g.VertexWeight(id))
-		}
-	}
-	for i, id := range d.OwnedIDs {
-		for e := g.XAdj[id]; e < g.XAdj[id+1]; e++ {
-			nb := g.Adjncy[e]
-			if nb < id {
-				continue
-			}
-			var nbSide bool
-			if slot, ok := ghostSlotOf[nb]; ok {
-				nbSide = valueAbove(ghostAxis(slot), nb, tVal, tID)
-			} else if li, ok2 := ownedIndex(d, nb); ok2 {
-				nbSide = sides[li]
+	if batchingOn.Load() {
+		// Batched kernel: resolve the topology once, side every owned
+		// and ghost slot, and count the cut by array indexing.
+		ec := buildEdgeCache(g, d)
+		nGhost := len(d.GhostIDs)
+		slotSide := make([]bool, nOwn+nGhost)
+		for i, id := range d.OwnedIDs {
+			s := valueAbove(axis(i), id, tVal, tID)
+			sides[i] = s
+			slotSide[i] = s
+			if s {
+				w1 += int64(g.VertexWeight(id))
 			} else {
-				continue
+				w0 += int64(g.VertexWeight(id))
 			}
-			if nbSide != sides[i] {
-				cut += int64(g.ArcWeight(e))
+		}
+		for gi, id := range d.GhostIDs {
+			slotSide[nOwn+gi] = valueAbove(ghostAxis(int32(gi)), id, tVal, tID)
+		}
+		for e := range ec.cutA {
+			if slotSide[ec.cutA[e]] != slotSide[ec.cutB[e]] {
+				cut += ec.cutW[e]
+			}
+		}
+		ec.release()
+	} else {
+		ghostSlotOf := make(map[int32]int32, len(d.GhostIDs))
+		for i, id := range d.GhostIDs {
+			ghostSlotOf[id] = int32(i)
+		}
+		for i, id := range d.OwnedIDs {
+			s := valueAbove(axis(i), id, tVal, tID)
+			sides[i] = s
+			if s {
+				w1 += int64(g.VertexWeight(id))
+			} else {
+				w0 += int64(g.VertexWeight(id))
+			}
+		}
+		for i, id := range d.OwnedIDs {
+			for e := g.XAdj[id]; e < g.XAdj[id+1]; e++ {
+				nb := g.Adjncy[e]
+				if nb < id {
+					continue
+				}
+				var nbSide bool
+				if slot, ok := ghostSlotOf[nb]; ok {
+					nbSide = valueAbove(ghostAxis(slot), nb, tVal, tID)
+				} else if li, ok2 := ownedIndex(d, nb); ok2 {
+					nbSide = sides[li]
+				} else {
+					continue
+				}
+				if nbSide != sides[i] {
+					cut += int64(g.ArcWeight(e))
+				}
 			}
 		}
 	}

@@ -27,7 +27,11 @@ type stripRecord struct {
 // Strip records are gathered to every rank and the (small) FM problem
 // is solved redundantly, so no result broadcast is needed — the same
 // trick the paper uses for the great-circle selection itself.
-func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg ParallelConfig, valOwned, valGhost, sampleAbs []float64, tVal float64, totalW int64, res *ParallelResult) {
+//
+// When the batched kernel ran, ec carries the resolved edge topology
+// and the ring scan is pure array indexing; with ec nil (legacy
+// kernel) the scan falls back to the ghost map and owned binary search.
+func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg ParallelConfig, ec *edgeCache, valOwned, valGhost, sampleAbs []float64, tVal float64, totalW int64, res *ParallelResult) {
 	n := g.NumVertices()
 	target := int(cfg.StripFactor * float64(res.CutBefore))
 	if target < 64 {
@@ -54,18 +58,51 @@ func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Parallel
 		return x
 	}
 	inStrip := func(val float64) bool { return abs(val-tVal) < eps }
-	ghostSlot := make(map[int32]int32, len(d.GhostIDs))
-	for i, id := range d.GhostIDs {
-		ghostSlot[id] = int32(i)
-	}
-	valOf := func(id int32) (float64, bool) {
-		if li, ok := ownedIndex(d, id); ok {
-			return valOwned[li], true
+	// ringTouchesStrip reports whether owned vertex i (id) has a
+	// resolvable neighbour inside the strip.
+	var ringTouchesStrip func(i int, id int32) bool
+	if ec != nil {
+		nOwn := ec.nOwn
+		ringTouchesStrip = func(i int, id int32) bool {
+			for a := ec.start[i]; a < ec.start[i+1]; a++ {
+				s := ec.slot[a]
+				if s < 0 {
+					continue
+				}
+				var v float64
+				if int(s) < nOwn {
+					v = valOwned[s]
+				} else {
+					v = valGhost[int(s)-nOwn]
+				}
+				if inStrip(v) {
+					return true
+				}
+			}
+			return false
 		}
-		if gi, ok := ghostSlot[id]; ok {
-			return valGhost[gi], true
+	} else {
+		ghostSlot := make(map[int32]int32, len(d.GhostIDs))
+		for i, id := range d.GhostIDs {
+			ghostSlot[id] = int32(i)
 		}
-		return 0, false
+		valOf := func(id int32) (float64, bool) {
+			if li, ok := ownedIndex(d, id); ok {
+				return valOwned[li], true
+			}
+			if gi, ok := ghostSlot[id]; ok {
+				return valGhost[gi], true
+			}
+			return 0, false
+		}
+		ringTouchesStrip = func(_ int, id int32) bool {
+			for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
+				if v, ok := valOf(g.Adjncy[k]); ok && inStrip(v) {
+					return true
+				}
+			}
+			return false
+		}
 	}
 	// Collect local strip and ring records.
 	var recs []stripRecord
@@ -74,11 +111,8 @@ func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Parallel
 			recs = append(recs, stripRecord{ID: id, Side: int8(res.Side[i]), Strip: true})
 			continue
 		}
-		for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
-			if v, ok := valOf(g.Adjncy[k]); ok && inStrip(v) {
-				recs = append(recs, stripRecord{ID: id, Side: int8(res.Side[i])})
-				break
-			}
+		if ringTouchesStrip(i, id) {
+			recs = append(recs, stripRecord{ID: id, Side: int8(res.Side[i])})
 		}
 	}
 	all := mpi.Concat(mpi.AllGatherV(c, recs, 6))
@@ -127,7 +161,7 @@ func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Parallel
 	got := c.Bcast(0, out, 32+len(all))
 	out = got.(outcome)
 	for _, id := range out.Flips {
-		if li, ok := ownedIndex(d, id); ok {
+		if li, ok := d.LocalSlot(id); ok {
 			res.Side[li] = 1 - res.Side[li]
 		}
 	}

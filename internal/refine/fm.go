@@ -5,9 +5,6 @@
 // locked surroundings, or a baseline's band graph uniformly.
 package refine
 
-import (
-	"container/heap"
-)
 
 // Arc is one internal adjacency entry of a Problem.
 type Arc struct {
@@ -71,18 +68,65 @@ type item struct {
 	stamp int64
 }
 
+// gainHeap is a max-heap on gain with hand-rolled sift operations: the
+// container/heap interface boxes every Push/Pop through `any`, which
+// costs one heap allocation per operation — on a strip with thousands
+// of free vertices that dominated the refinement's allocation profile.
+// up/down replicate container/heap's algorithm exactly (same child
+// choice, same strict comparison), so the pop order — and therefore
+// the FM move sequence — is unchanged.
 type gainHeap []item
 
-func (h gainHeap) Len() int           { return len(h) }
-func (h gainHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
-func (h gainHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x any)        { *h = append(*h, x.(item)) }
-func (h *gainHeap) Pop() any {
+func (h gainHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].gain > h[i].gain) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h gainHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].gain > h[j1].gain {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !(h[j].gain > h[i].gain) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h gainHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+func (h *gainHeap) push(it item) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+func (h *gainHeap) pop() item {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	it := old[n]
+	*h = old[:n]
+	return it
 }
 
 // Run performs FM passes until a pass yields no improvement, returning
@@ -103,21 +147,22 @@ func (p *Problem) Run() int64 {
 	stamp := make([]int64, n)
 	moved := make([]bool, n)
 	order := make([]int32, 0, n)
+	hbuf := make(gainHeap, 0, n)
 	for pass := 0; pass < passes; pass++ {
-		h := make(gainHeap, 0, n)
+		h := hbuf[:0]
 		for v := 0; v < n; v++ {
 			moved[v] = false
 			gains[v] = p.Gain(int32(v))
 			stamp[v]++
 			h = append(h, item{v: int32(v), gain: gains[v], stamp: stamp[v]})
 		}
-		heap.Init(&h)
+		h.init()
 		order = order[:0]
 		var running, best int64
 		bestIdx := 0
 		limit := int64(float64(p.TotalW) * (1 + p.Tol) / 2)
-		for h.Len() > 0 {
-			it := heap.Pop(&h).(item)
+		for len(h) > 0 {
+			it := h.pop()
 			v := it.v
 			if moved[v] || it.stamp != stamp[v] {
 				continue
@@ -148,9 +193,10 @@ func (p *Problem) Run() int64 {
 				}
 				gains[a.To] = p.Gain(a.To)
 				stamp[a.To]++
-				heap.Push(&h, item{v: a.To, gain: gains[a.To], stamp: stamp[a.To]})
+				h.push(item{v: a.To, gain: gains[a.To], stamp: stamp[a.To]})
 			}
 		}
+		hbuf = h // drained, but keeps any capacity the pushes grew
 		// Roll back past the best prefix.
 		for i := len(order) - 1; i >= bestIdx; i-- {
 			v := order[i]

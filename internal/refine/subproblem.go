@@ -9,8 +9,10 @@ import "repro/internal/graph"
 // the vertex ids aligned with problem indices.
 func BuildSubproblem(g *graph.Graph, free []int32, sideOf func(int32) int8, sideW [2]int64, totalW int64, tol float64, passes int) (*Problem, []int32) {
 	local := make(map[int32]int32, len(free))
+	totalDeg := 0
 	for i, id := range free {
 		local[id] = int32(i)
+		totalDeg += int(g.XAdj[id+1] - g.XAdj[id])
 	}
 	p := &Problem{
 		Adj:       make([][]Arc, len(free)),
@@ -22,18 +24,24 @@ func BuildSubproblem(g *graph.Graph, free []int32, sideOf func(int32) int8, side
 		Tol:       tol,
 		MaxPasses: passes,
 	}
+	// All per-vertex arc lists live in one flat backing presized to the
+	// free set's total degree (an upper bound on internal arcs), so
+	// assembly never reallocates and the lists stay cache-adjacent.
+	arcs := make([]Arc, 0, totalDeg)
 	for i, id := range free {
 		p.VW[i] = int64(g.VertexWeight(id))
 		p.Side[i] = sideOf(id)
+		start := len(arcs)
 		for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
 			nb := g.Adjncy[k]
 			w := int64(g.ArcWeight(k))
 			if li, ok := local[nb]; ok {
-				p.Adj[i] = append(p.Adj[i], Arc{To: li, W: w})
+				arcs = append(arcs, Arc{To: li, W: w})
 			} else {
 				p.Ext[i][sideOf(nb)] += w
 			}
 		}
+		p.Adj[i] = arcs[start:len(arcs):len(arcs)]
 	}
 	ids := append([]int32(nil), free...)
 	return p, ids
