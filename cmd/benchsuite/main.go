@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/hostpar"
 )
 
 func main() {
@@ -26,7 +27,7 @@ func main() {
 		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|all")
 		scale      = flag.Float64("scale", 1.0, "suite size scale (1 = default bench sizes)")
 		psFlag     = flag.String("ps", "", "comma-separated processor sweep (default 1,2,...,1024)")
-		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = one per core)")
+		workers    = flag.Int("workers", 0, "worker pool size for the sweep and the fork-join kernels (0 = one per core)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -71,6 +72,9 @@ func main() {
 			ps = append(ps, v)
 		}
 	}
+	// One setting bounds both pools: concurrent sweep runs and the
+	// fork-join kernels inside each run share the host's cores.
+	hostpar.SetWorkers(*workers)
 	h := bench.New(*scale, ps)
 	h.Workers = *workers
 	if !*quiet {

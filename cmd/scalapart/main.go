@@ -32,6 +32,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/geopart"
 	"repro/internal/graph"
+	"repro/internal/hostpar"
 	"repro/internal/mpi"
 )
 
@@ -48,10 +49,12 @@ func main() {
 		fault     = flag.String("fault", "", "inject faults: comma-separated kill:R@E | drop:R@E | delay:R@E+SECS | trunc:R@E")
 		benchJSON = flag.String("bench-json", "", "sweep ScalaPart over the suite and write perf-trajectory JSON to this file, then exit")
 		psFlag    = flag.String("ps", "", "processor sweep for -bench-json (default 1,2,...,1024)")
+		workers   = flag.Int("workers", 0, "host worker pool size for the fork-join coarsening kernels (0 = one per core)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	hostpar.SetWorkers(*workers)
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {

@@ -1,6 +1,10 @@
 package bench
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"repro/internal/hostpar"
+)
 
 // BenchRecord is one row of a BENCH_*.json perf-trajectory file: the
 // modeled outcome of one (graph, method, P) run plus the host
@@ -20,18 +24,22 @@ type BenchRecord struct {
 	Fallback    bool    `json:"fallback,omitempty"`
 }
 
-// BenchFile is the top-level shape of a BENCH_*.json file.
+// BenchFile is the top-level shape of a BENCH_*.json file. HostWorkers
+// records the fork-join pool size the wall clocks were measured under;
+// modeled fields are independent of it by construction
+// (TestHierarchyBitIdentical).
 type BenchFile struct {
-	Scale float64       `json:"suite_scale"`
-	Ps    []int         `json:"ps"`
-	Runs  []BenchRecord `json:"runs"`
+	Scale       float64       `json:"suite_scale"`
+	Ps          []int         `json:"ps"`
+	HostWorkers int           `json:"host_workers,omitempty"`
+	Runs        []BenchRecord `json:"runs"`
 }
 
 // BenchJSON sweeps ScalaPart over the synthetic suite (warming the
 // cache in parallel) and renders the per-run records as indented JSON.
 func (h *Harness) BenchJSON() ([]byte, error) {
 	h.Precompute([]string{MethodSP})
-	file := BenchFile{Scale: h.Scale, Ps: h.Ps}
+	file := BenchFile{Scale: h.Scale, Ps: h.Ps, HostWorkers: hostpar.Workers()}
 	for _, name := range SuiteNames() {
 		for _, p := range h.Ps {
 			r := h.Get(name, MethodSP, p)

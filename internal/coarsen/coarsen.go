@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/hostpar"
 )
 
 // HeavyEdgeMatch computes a randomized heavy-edge matching. Vertices
@@ -69,8 +70,19 @@ func Contract(g *graph.Graph, match []int32) (*graph.Graph, []int32) {
 
 // contractBlocked is Contract specialised to contiguous block ownership
 // given by offsets (offsets[r] is the first vertex of block r). It runs
-// in O(n + m).
+// in O(n + m). Large graphs route to the fork-join contraction kernel
+// (see parallel.go) unless SetParallel disabled it; the two paths are
+// bit-identical.
 func contractBlocked(g *graph.Graph, match []int32, offsets []int32) (*graph.Graph, []int32, []int32) {
+	if parallelOn.Load() && g.NumVertices() >= contractParMinVerts {
+		return contractBlockedParallel(g, match, offsets)
+	}
+	return contractBlockedSerial(g, match, offsets)
+}
+
+// contractBlockedSerial is the legacy single-threaded contraction, kept
+// verbatim as the reference the parallel kernel is tested against.
+func contractBlockedSerial(g *graph.Graph, match []int32, offsets []int32) (*graph.Graph, []int32, []int32) {
 	n := g.NumVertices()
 	blocks := len(offsets) - 1
 	fineToCoarse := make([]int32, n)
@@ -235,9 +247,10 @@ func BuildHierarchy(g *graph.Graph, p int, opt Options) *Hierarchy {
 			if composed == nil {
 				composed = f2c
 			} else {
-				for i := range composed {
-					composed[i] = f2c[composed[i]]
-				}
+				cc := composed
+				hostpar.For(len(cc), composeGrain, func(i int) {
+					cc[i] = f2c[cc[i]]
+				})
 			}
 			if stepG.NumVertices() <= opt.CoarsestSize {
 				break
@@ -328,7 +341,18 @@ func mergeOffsets(offsets []int32, nextRanks int) []int32 {
 }
 
 // invertMap builds the CSR grouping of fine vertices by coarse parent.
+// Large maps route to the chunked counting-sort kernel (parallel.go)
+// unless SetParallel disabled it; the two paths are bit-identical.
 func invertMap(toCoarse []int32, nCoarse int) (offsets, children []int32) {
+	if parallelOn.Load() && len(toCoarse) >= invertParMinVerts {
+		return invertMapParallel(toCoarse, nCoarse)
+	}
+	return invertMapSerial(toCoarse, nCoarse)
+}
+
+// invertMapSerial is the legacy cursor-scan inversion, kept verbatim as
+// the reference the parallel kernel is tested against.
+func invertMapSerial(toCoarse []int32, nCoarse int) (offsets, children []int32) {
 	offsets = make([]int32, nCoarse+1)
 	for _, cv := range toCoarse {
 		offsets[cv+1]++

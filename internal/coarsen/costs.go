@@ -1,25 +1,34 @@
 package coarsen
 
-import "repro/internal/mpi"
+import (
+	"repro/internal/hostpar"
+	"repro/internal/mpi"
+)
 
 // BoundaryEdges counts, for every hierarchy level and rank, the edges
 // crossing out of the rank's ownership block — the halo volume of
 // distributed matching. Precomputed once per hierarchy and shared by
-// every simulated rank.
+// every simulated rank. The per-rank scans are independent (each rank
+// owns a disjoint vertex block and writes only its own counter), so
+// they fan out over the host worker pool — embarrassingly parallel over
+// ranks within each level.
 func BoundaryEdges(h *Hierarchy) [][]int64 {
 	out := make([][]int64, len(h.Levels))
-	for li, lev := range h.Levels {
+	for li := range h.Levels {
+		lev := &h.Levels[li]
 		counts := make([]int64, lev.Ranks)
-		for r := 0; r < lev.Ranks; r++ {
+		hostpar.For(lev.Ranks, 1, func(r int) {
 			begin, end := lev.Offsets[r], lev.Offsets[r+1]
+			n := int64(0)
 			for v := begin; v < end; v++ {
 				for _, nb := range lev.G.Neighbors(v) {
 					if nb < begin || nb >= end {
-						counts[r]++
+						n++
 					}
 				}
 			}
-		}
+			counts[r] = n
+		})
 		out[li] = counts
 	}
 	return out

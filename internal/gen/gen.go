@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/geometry"
 	"repro/internal/graph"
+	"repro/internal/hostpar"
 )
 
 // Generated bundles a graph with its name and optional natural
@@ -33,9 +34,9 @@ type Generated struct {
 func MortonRelabel(g *graph.Graph, coords []geometry.Vec2) (*graph.Graph, []geometry.Vec2) {
 	order := mortonOrder(coords) // order[i] = old id at new position i
 	newID := make([]int32, g.NumVertices())
-	for pos, old := range order {
-		newID[old] = int32(pos)
-	}
+	hostpar.For(len(order), relabelGrain, func(pos int) {
+		newID[order[pos]] = int32(pos)
+	})
 	b := graph.NewBuilder(g.NumVertices())
 	for u := int32(0); u < int32(g.NumVertices()); u++ {
 		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
@@ -50,11 +51,15 @@ func MortonRelabel(g *graph.Graph, coords []geometry.Vec2) (*graph.Graph, []geom
 		out.EWgt = nil
 	}
 	newCoords := make([]geometry.Vec2, len(coords))
-	for pos, old := range order {
-		newCoords[pos] = coords[old]
-	}
+	hostpar.For(len(order), relabelGrain, func(pos int) {
+		newCoords[pos] = coords[order[pos]]
+	})
 	return out, newCoords
 }
+
+// relabelGrain keeps the relabelling scatters from forking on the small
+// graphs tests generate; suite-scale meshes split across the pool.
+const relabelGrain = 8192
 
 // LargestComponent restricts g (and coords, when non-nil) to its
 // largest connected component, relabelling vertices densely.

@@ -64,8 +64,19 @@ func (b *Builder) SetVertexWeight(v int32, w int32) {
 }
 
 // Build produces the CSR graph. The builder remains usable (more edges
-// may be added and Build called again).
+// may be added and Build called again). Large builds route to the
+// parallel per-vertex bucket path (see builder_par.go) unless
+// SetParallelBuild disabled it; the two paths are bit-identical.
 func (b *Builder) Build() *Graph {
+	if parallelBuild.Load() && len(b.us) >= parallelBuildMinEdges {
+		return b.buildParallel()
+	}
+	return b.buildSerial()
+}
+
+// buildSerial is the legacy global sort-and-merge path, kept verbatim
+// as the reference the parallel path is tested against.
+func (b *Builder) buildSerial() *Graph {
 	// Sort edge records by (u, v) to merge duplicates.
 	idx := make([]int32, len(b.us))
 	for i := range idx {

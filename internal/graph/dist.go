@@ -40,21 +40,26 @@ func BlockOwner(n, p int, v int32) int {
 // neighbour owned elsewhere) and its ghost vertices (distinct non-owned
 // neighbours). These counts drive the communication-cost accounting of
 // the simulated runtime.
+//
+// Ghost dedup uses an epoch-stamp array instead of a hash set: ranks
+// are visited in order, so a neighbour already counted for the current
+// rank carries stamp r+1. One O(n) array replaces a map holding every
+// (rank, ghost) pair — no hashing, no growth, no per-edge allocation.
 func BoundaryCounts(g *Graph, p int) (boundary, ghosts []int) {
 	n := g.NumVertices()
 	boundary = make([]int, p)
 	ghosts = make([]int, p)
-	ghostSeen := make(map[int64]struct{})
+	lastSeen := make([]int32, n) // 0 = never; r+1 = counted for rank r
 	for r := 0; r < p; r++ {
 		begin, end := BlockRange(n, p, r)
+		stamp := int32(r + 1)
 		for v := begin; v < end; v++ {
 			isBoundary := false
 			for _, w := range g.Neighbors(int32(v)) {
 				if int(w) < begin || int(w) >= end {
 					isBoundary = true
-					key := int64(r)<<32 | int64(w)
-					if _, ok := ghostSeen[key]; !ok {
-						ghostSeen[key] = struct{}{}
+					if lastSeen[w] != stamp {
+						lastSeen[w] = stamp
 						ghosts[r]++
 					}
 				}

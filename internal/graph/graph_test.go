@@ -224,6 +224,49 @@ func TestBoundaryCounts(t *testing.T) {
 	}
 }
 
+// TestBoundaryCountsMatchesMapReference cross-checks the epoch-stamp
+// ghost dedup against the obvious hash-set formulation on random graphs
+// and rank counts, including p > n (empty blocks).
+func TestBoundaryCountsMatchesMapReference(t *testing.T) {
+	for _, tc := range []struct {
+		n, m int
+		seed int64
+	}{{1, 0, 1}, {20, 60, 2}, {300, 2000, 3}, {50, 400, 4}} {
+		g := randomGraph(tc.n, tc.m, tc.seed)
+		for _, p := range []int{1, 2, 7, 64} {
+			gotB, gotG := BoundaryCounts(g, p)
+			wantB := make([]int, p)
+			wantG := make([]int, p)
+			seen := make(map[int64]struct{})
+			for r := 0; r < p; r++ {
+				begin, end := BlockRange(tc.n, p, r)
+				for v := begin; v < end; v++ {
+					isBoundary := false
+					for _, w := range g.Neighbors(int32(v)) {
+						if int(w) < begin || int(w) >= end {
+							isBoundary = true
+							key := int64(r)<<32 | int64(w)
+							if _, ok := seen[key]; !ok {
+								seen[key] = struct{}{}
+								wantG[r]++
+							}
+						}
+					}
+					if isBoundary {
+						wantB[r]++
+					}
+				}
+			}
+			for r := 0; r < p; r++ {
+				if gotB[r] != wantB[r] || gotG[r] != wantG[r] {
+					t.Fatalf("n=%d p=%d rank %d: got (boundary %d, ghosts %d), want (%d, %d)",
+						tc.n, p, r, gotB[r], gotG[r], wantB[r], wantG[r])
+				}
+			}
+		}
+	}
+}
+
 // TestCutSizeSymmetric: the cut is invariant under part-id swap.
 func TestCutSizeSymmetric(t *testing.T) {
 	g := randomGraph(50, 150, 3)

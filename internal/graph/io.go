@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -94,9 +95,11 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 	// deterministic error reporting) so the adjacency can be checked for
 	// self-loops, duplicates, and asymmetry — the structural defects that
 	// otherwise surface much later as partitioner invariant violations.
-	type dirEdge struct{ from, to int32 }
-	seen := make(map[dirEdge]int32, 2*m)
-	order := make([]dirEdge, 0, 2*m)
+	// Validation is sort-based (see checkAdjacency): one permutation sort
+	// over packed (from, to) keys replaces a hash set holding every
+	// directed entry.
+	type dirEdge struct{ from, to, w int32 }
+	entries := make([]dirEdge, 0, 2*m)
 	for v := 0; v < n; v++ {
 		line, err := nextDataLine(sc)
 		if err != nil {
@@ -138,12 +141,7 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 			if u-1 == v {
 				return nil, fmt.Errorf("graph: METIS vertex %d: self-loop", v+1)
 			}
-			e := dirEdge{int32(v), int32(u - 1)}
-			if _, dup := seen[e]; dup {
-				return nil, fmt.Errorf("graph: METIS vertex %d: duplicate neighbour %d", v+1, u)
-			}
-			seen[e] = int32(w)
-			order = append(order, e)
+			entries = append(entries, dirEdge{int32(v), int32(u - 1), int32(w)})
 			// Each undirected edge appears twice in the file; add it
 			// once, from its lower endpoint.
 			if int32(u-1) > int32(v) {
@@ -151,18 +149,32 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 			}
 		}
 	}
-	// Symmetry: every directed entry needs its mirror, with the same
-	// weight when the file carries edge weights. Checking in file order
-	// makes the reported offender deterministic.
-	for _, e := range order {
-		wBack, ok := seen[dirEdge{e.to, e.from}]
-		if !ok {
+	// Duplicate check: sort a permutation by (packed key, file position)
+	// and look for equal adjacent keys. Reporting the smallest
+	// second-occurrence position reproduces the first duplicate a file-
+	// order scan would hit.
+	keys := make([]int64, len(entries))
+	for i, e := range entries {
+		keys[i] = int64(e.from)<<32 | int64(e.to)
+	}
+	perm := sortedByKey(keys)
+	if dup := firstDuplicate(keys, perm); dup >= 0 {
+		e := entries[dup]
+		return nil, fmt.Errorf("graph: METIS vertex %d: duplicate neighbour %d", e.from+1, e.to+1)
+	}
+	// Symmetry: every directed entry needs its mirror (binary search over
+	// the now-unique sorted keys), with the same weight when the file
+	// carries edge weights. Checking in file order makes the reported
+	// offender deterministic.
+	for _, e := range entries {
+		k := findKey(keys, perm, int64(e.to)<<32|int64(e.from))
+		if k < 0 {
 			return nil, fmt.Errorf("graph: METIS adjacency asymmetric: vertex %d lists %d but %d does not list %d",
 				e.from+1, e.to+1, e.to+1, e.from+1)
 		}
-		if hasEW && wBack != seen[e] {
+		if hasEW && entries[k].w != e.w {
 			return nil, fmt.Errorf("graph: METIS edge weight asymmetric: %d-%d has weights %d and %d",
-				e.from+1, e.to+1, seen[e], wBack)
+				e.from+1, e.to+1, e.w, entries[k].w)
 		}
 	}
 	g := b.Build()
@@ -170,6 +182,56 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: METIS edge count %d does not match header %d", g.NumEdges(), m)
 	}
 	return g, nil
+}
+
+// sortedByKey returns the permutation of indices ordering keys
+// ascending, ties broken by position — so equal keys appear in file
+// order within a run.
+func sortedByKey(keys []int64) []int32 {
+	perm := make([]int32, len(keys))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		if keys[perm[a]] != keys[perm[b]] {
+			return keys[perm[a]] < keys[perm[b]]
+		}
+		return perm[a] < perm[b]
+	})
+	return perm
+}
+
+// firstDuplicate scans a key-sorted permutation for equal adjacent keys
+// and returns the smallest position that is not the first occurrence of
+// its key (the first duplicate in file order), or -1.
+func firstDuplicate(keys []int64, perm []int32) int {
+	dup := -1
+	for i := 1; i < len(perm); i++ {
+		if keys[perm[i]] == keys[perm[i-1]] {
+			if p := int(perm[i]); dup < 0 || p < dup {
+				dup = p
+			}
+		}
+	}
+	return dup
+}
+
+// findKey binary-searches a duplicate-free key-sorted permutation and
+// returns the position holding key, or -1.
+func findKey(keys []int64, perm []int32, key int64) int {
+	lo, hi := 0, len(perm)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[perm[mid]] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(perm) && keys[perm[lo]] == key {
+		return int(perm[lo])
+	}
+	return -1
 }
 
 func nextDataLine(sc *bufio.Scanner) (string, error) {
@@ -252,8 +314,7 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 	}
 	symmetric := strings.Contains(header, "symmetric")
 	b := NewBuilder(rows)
-	type cell struct{ i, j int32 }
-	entries := make(map[cell]struct{}, nnz)
+	cells := make([]int64, 0, nnz) // packed (i, j), in file order
 	for k := 0; k < nnz; k++ {
 		line, err := nextDataLine(sc)
 		if err != nil {
@@ -281,13 +342,16 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 		if symmetric && i < j {
 			return nil, fmt.Errorf("graph: MatrixMarket entry (%d,%d) above the diagonal in a symmetric matrix", i, j)
 		}
-		if _, dup := entries[cell{int32(i), int32(j)}]; dup {
-			return nil, fmt.Errorf("graph: MatrixMarket duplicate entry (%d,%d)", i, j)
-		}
-		entries[cell{int32(i), int32(j)}] = struct{}{}
+		cells = append(cells, int64(i)<<32|int64(j))
 		if i != j {
 			b.AddEdge(int32(i-1), int32(j-1))
 		}
+	}
+	// Duplicate check, sort-based like ReadMETIS: the smallest second-
+	// occurrence position is the first duplicate in file order.
+	if dup := firstDuplicate(cells, sortedByKey(cells)); dup >= 0 {
+		c := cells[dup]
+		return nil, fmt.Errorf("graph: MatrixMarket duplicate entry (%d,%d)", c>>32, int32(c))
 	}
 	// The builder merges the duplicates a general matrix produces; the
 	// accumulated weights are irrelevant for pattern use, so rebuild as

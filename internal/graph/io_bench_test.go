@@ -1,0 +1,82 @@
+package graph_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// BenchmarkIORoundTrip serialises a suite-scale graph and parses it
+// back, exercising the sort-based reader validation plus the parallel
+// CSR builder end to end.
+func BenchmarkIORoundTrip(b *testing.B) {
+	g := gen.Grid2D(200, 200).G
+	b.Run("metis", func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := graph.WriteMETIS(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, err := graph.ReadMETIS(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.NumEdges() != g.NumEdges() {
+				b.Fatalf("edges %d, want %d", got.NumEdges(), g.NumEdges())
+			}
+		}
+	})
+	b.Run("matrixmarket", func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := graph.WriteMatrixMarket(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, err := graph.ReadMatrixMarket(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.NumEdges() != g.NumEdges() {
+				b.Fatalf("edges %d, want %d", got.NumEdges(), g.NumEdges())
+			}
+		}
+	})
+}
+
+// TestIORoundTripPreservesGraph pins the round trip the benchmark
+// measures: read(write(g)) must reproduce the adjacency exactly.
+func TestIORoundTripPreservesGraph(t *testing.T) {
+	g := gen.Grid2D(30, 17).G
+	var buf bytes.Buffer
+	if err := graph.WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for i := range g.XAdj {
+		if got.XAdj[i] != g.XAdj[i] {
+			t.Fatalf("XAdj[%d] = %d, want %d", i, got.XAdj[i], g.XAdj[i])
+		}
+	}
+	for i := range g.Adjncy {
+		if got.Adjncy[i] != g.Adjncy[i] {
+			t.Fatalf("Adjncy[%d] = %d, want %d", i, got.Adjncy[i], g.Adjncy[i])
+		}
+	}
+}

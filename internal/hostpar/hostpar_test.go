@@ -1,0 +1,151 @@
+package hostpar
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestChunkAssignmentDeterministic pins the static chunk layout: the
+// chunk count and every chunk boundary are pure functions of (n, grain,
+// worker setting), independent of scheduling — the property every
+// bit-identical kernel in coarsen and graph is built on.
+func TestChunkAssignmentDeterministic(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	for _, n := range []int{1, 7, 100, 4096, 100003} {
+		for _, grain := range []int{1, 64, 4096} {
+			want := NumChunks(n, grain)
+			for trial := 0; trial < 3; trial++ {
+				var mu sync.Mutex
+				got := make(map[int][2]int)
+				ForChunked(n, grain, func(c, lo, hi int) {
+					mu.Lock()
+					got[c] = [2]int{lo, hi}
+					mu.Unlock()
+				})
+				if len(got) != want {
+					t.Fatalf("n=%d grain=%d: %d chunks ran, NumChunks says %d", n, grain, len(got), want)
+				}
+				for c, b := range got {
+					lo, hi := ChunkBounds(n, want, c)
+					if b[0] != lo || b[1] != hi {
+						t.Fatalf("n=%d grain=%d chunk %d: ran [%d,%d), ChunkBounds says [%d,%d)", n, grain, c, b[0], b[1], lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChunkBoundsPartition checks chunks tile [0, n) exactly: adjacent,
+// disjoint, complete, and every chunk meets the grain floor that
+// NumChunks promised.
+func TestChunkBoundsPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 63, 64, 65, 1000, 99991} {
+		for _, chunks := range []int{1, 2, 3, 7, 8} {
+			if chunks > n {
+				continue
+			}
+			prev := 0
+			for c := 0; c < chunks; c++ {
+				lo, hi := ChunkBounds(n, chunks, c)
+				if lo != prev {
+					t.Fatalf("n=%d chunks=%d: chunk %d starts at %d, want %d", n, chunks, c, lo, prev)
+				}
+				if hi <= lo {
+					t.Fatalf("n=%d chunks=%d: chunk %d empty [%d,%d)", n, chunks, c, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d chunks=%d: chunks end at %d", n, chunks, prev)
+			}
+		}
+	}
+}
+
+// TestForVisitsEachIndexOnce runs For under several worker settings and
+// checks every index is visited exactly once.
+func TestForVisitsEachIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		defer SetWorkers(SetWorkers(w))
+		const n = 50000
+		visits := make([]int32, n)
+		For(n, 1, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, v)
+			}
+		}
+	}
+}
+
+// TestNestedForDoesNotDeadlock exercises the helping wait: outer chunks
+// running on pool workers issue inner parallel loops whose chunks queue
+// behind them.
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	var total atomic.Int64
+	For(64, 1, func(i int) {
+		For(1000, 1, func(j int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 64*1000 {
+		t.Fatalf("nested loops ran %d inner iterations, want %d", got, 64*1000)
+	}
+}
+
+// TestConcurrentCallersShareThePool runs many goroutines each issuing
+// parallel loops, mimicking the bench sweep building hierarchies
+// concurrently; results must be independent and complete.
+func TestConcurrentCallersShareThePool(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	const callers = 16
+	var wg sync.WaitGroup
+	sums := make([]int64, callers)
+	for g := 0; g < callers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s atomic.Int64
+			For(10000, 16, func(i int) { s.Add(int64(i)) })
+			sums[g] = s.Load()
+		}()
+	}
+	wg.Wait()
+	want := int64(10000) * 9999 / 2
+	for g, s := range sums {
+		if s != want {
+			t.Fatalf("caller %d summed %d, want %d", g, s, want)
+		}
+	}
+}
+
+// TestSetWorkersRoundTrip checks the save/restore idiom the tests and
+// flag plumbing rely on.
+func TestSetWorkersRoundTrip(t *testing.T) {
+	orig := SetWorkers(3)
+	if got := SetWorkers(orig); got != 3 {
+		t.Fatalf("SetWorkers round-trip read %d, want 3", got)
+	}
+	if SetWorkers(-5) != orig {
+		t.Fatalf("negative SetWorkers did not return prior setting")
+	}
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after clamping negative setting", Workers())
+	}
+	SetWorkers(orig)
+}
+
+// TestWorkersDefaultsToCores: with no setting, Workers tracks
+// GOMAXPROCS.
+func TestWorkersDefaultsToCores(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	if Workers() < 1 {
+		t.Fatalf("default Workers() = %d", Workers())
+	}
+}
