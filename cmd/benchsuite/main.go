@@ -28,6 +28,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "suite size scale (1 = default bench sizes)")
 		psFlag     = flag.String("ps", "", "comma-separated processor sweep (default 1,2,...,1024)")
 		workers    = flag.Int("workers", 0, "worker pool size for the sweep and the fork-join kernels (0 = one per core)")
+		phaseBreak = flag.Bool("phase-breakdown", false, "print the per-phase virtual-time and byte-volume breakdown of the ScalaPart sweep, then exit")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -79,6 +80,10 @@ func main() {
 	h.Workers = *workers
 	if !*quiet {
 		h.Out = os.Stderr
+	}
+	if *phaseBreak {
+		fmt.Println(h.PhaseBreakdown())
+		return
 	}
 	if *experiment == "all" {
 		// Warm the run cache for the full sweep in parallel; the

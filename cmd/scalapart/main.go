@@ -34,6 +34,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hostpar"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,11 +48,14 @@ func main() {
 		out       = flag.String("out", "", "write per-vertex part ids to this file")
 		list      = flag.Bool("list", false, "list built-in graphs and exit")
 		fault     = flag.String("fault", "", "inject faults: comma-separated kill:R@E | drop:R@E | delay:R@E+SECS | trunc:R@E")
-		benchJSON = flag.String("bench-json", "", "sweep ScalaPart over the suite and write perf-trajectory JSON to this file, then exit")
-		psFlag    = flag.String("ps", "", "processor sweep for -bench-json (default 1,2,...,1024)")
-		workers   = flag.Int("workers", 0, "host worker pool size for the fork-join coarsening kernels (0 = one per core)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON  = flag.String("bench-json", "", "sweep ScalaPart over the suite and write perf-trajectory JSON to this file, then exit")
+		psFlag     = flag.String("ps", "", "processor sweep for -bench-json (default 1,2,...,1024)")
+		workers    = flag.Int("workers", 0, "host worker pool size for the fork-join coarsening kernels (0 = one per core)")
+		phaseBreak = flag.Bool("phase-breakdown", false, "print the per-phase virtual-time and byte-volume breakdown (Section 3.1 cost terms); with -bench-json, embed it per run")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (timeline axis = virtual clock)")
+		checkInv   = flag.Bool("check-invariants", false, "validate runtime invariants (clock monotonicity, byte symmetry, collective participation) and partition invariants after the run")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	hostpar.SetWorkers(*workers)
@@ -83,7 +87,7 @@ func main() {
 		}
 	}()
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *scale, *psFlag); err != nil {
+		if err := writeBenchJSON(*benchJSON, *scale, *psFlag, *phaseBreak); err != nil {
 			fmt.Fprintln(os.Stderr, "scalapart:", err)
 			os.Exit(1)
 		}
@@ -104,6 +108,18 @@ func main() {
 			fmt.Println(e.Name)
 		}
 		return
+	}
+	// Methods that execute on the simulated runtime can be traced; the
+	// purely sequential geometric baselines have no virtual clocks.
+	simulated := map[string]bool{"ScalaPart": true, "SP-PG7-NL": true, "RCB": true, "ParMetis": true, "Pt-Scotch": true}
+	var rec *trace.Recorder
+	if *phaseBreak || *traceOut != "" || *checkInv {
+		if simulated[*method] {
+			rec = trace.New()
+			model.Trace = rec
+		} else if *phaseBreak || *traceOut != "" {
+			fmt.Fprintf(os.Stderr, "scalapart: WARNING: -phase-breakdown/-trace need a simulated-runtime method; %s runs sequentially\n", *method)
+		}
 	}
 	g, coords, err := loadGraph(*file, *name, *scale)
 	if err != nil {
@@ -208,12 +224,52 @@ func main() {
 		}
 		fmt.Printf("partition written to %s\n", *out)
 	}
+	if rec != nil && fallback {
+		fmt.Fprintln(os.Stderr, "scalapart: WARNING: the traced parallel run failed; trace output covers the partial run, invariant checks use the fallback partition")
+	}
+	if rec != nil && *phaseBreak {
+		fmt.Print(rec.Breakdown().Table())
+	}
+	if rec != nil && *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			os.Exit(1)
+		}
+		err = rec.ChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	if *checkInv {
+		failed := false
+		if rec != nil && !fallback {
+			if err := rec.CheckInvariants(); err != nil {
+				fmt.Fprintln(os.Stderr, "scalapart:", err)
+				failed = true
+			}
+		}
+		if err := core.CheckPartition(g, part, cut, imb); err != nil {
+			fmt.Fprintln(os.Stderr, "scalapart:", err)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("invariants OK")
+	}
 }
 
 // writeBenchJSON runs the ScalaPart suite sweep at the given scale and
 // writes the BENCH perf-trajectory file (modeled time, comm time,
-// message counts, and host wall-clock per run).
-func writeBenchJSON(path string, scale float64, psSpec string) error {
+// message counts, and host wall-clock per run). With breakdown set the
+// sweep runs traced and each row carries its phase_breakdown array.
+func writeBenchJSON(path string, scale float64, psSpec string, breakdown bool) error {
 	ps := bench.DefaultPs()
 	if psSpec != "" {
 		ps = ps[:0]
@@ -226,6 +282,7 @@ func writeBenchJSON(path string, scale float64, psSpec string) error {
 		}
 	}
 	h := bench.New(scale, ps)
+	h.Trace = breakdown
 	h.Out = os.Stderr
 	data, err := h.BenchJSON()
 	if err != nil {

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchRowsBitIdenticalToSeed recomputes a sample of BENCH_4.json
+// rows — the perf-trajectory file committed before the observability
+// layer existed — and requires every modeled field to be bit-identical,
+// both with tracing disabled (the default) and with a Recorder
+// attached. The sample covers the four cheapest graphs at P ∈ {1, 4,
+// 16}; the full 45-row sweep is the BENCH regeneration job's business.
+func TestBenchRowsBitIdenticalToSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recomputes bench rows at the seed scale (~10s)")
+	}
+	raw, err := os.ReadFile("../../BENCH_4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file BenchFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]map[int]BenchRecord{}
+	for _, r := range file.Runs {
+		if rows[r.Graph] == nil {
+			rows[r.Graph] = map[int]BenchRecord{}
+		}
+		rows[r.Graph][r.P] = r
+	}
+
+	graphs := []string{"ecology1", "ecology2", "delaunay_n20", "G3_circuit"}
+	ps := []int{1, 4, 16}
+	check := func(t *testing.T, want BenchRecord, got *Run) {
+		t.Helper()
+		if got.Cut != want.Cut || got.Imbalance != want.Imbalance ||
+			got.Time != want.ModeledTime || got.CommTime != want.CommTime ||
+			got.Messages != want.Messages || got.BytesSent != want.BytesSent {
+			t.Fatalf("%s P=%d drifted from BENCH_4.json:\n  want cut=%d imb=%v time=%v comm=%v msgs=%d bytes=%d\n  got  cut=%d imb=%v time=%v comm=%v msgs=%d bytes=%d",
+				want.Graph, want.P,
+				want.Cut, want.Imbalance, want.ModeledTime, want.CommTime, want.Messages, want.BytesSent,
+				got.Cut, got.Imbalance, got.Time, got.CommTime, got.Messages, got.BytesSent)
+		}
+	}
+
+	h := New(file.Scale, ps)
+	for _, g := range graphs {
+		for _, p := range ps {
+			want, ok := rows[g][p]
+			if !ok {
+				t.Fatalf("BENCH_4.json has no row for %s P=%d", g, p)
+			}
+			check(t, want, h.Get(g, MethodSP, p))
+		}
+	}
+
+	// A traced run must reproduce the same modeled fields bit-for-bit
+	// and additionally carry the phase breakdown.
+	h.Trace = true
+	for _, p := range []int{1, 4} {
+		r := h.Get("ecology1", MethodSP, p)
+		check(t, rows["ecology1"][p], r)
+		if len(r.Breakdown) == 0 {
+			t.Fatalf("traced ecology1 P=%d run has no phase breakdown", p)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/hostpar"
+	"repro/internal/trace"
 )
 
 // BenchRecord is one row of a BENCH_*.json perf-trajectory file: the
@@ -22,6 +23,10 @@ type BenchRecord struct {
 	BytesSent   int64   `json:"bytes_sent"`
 	WallSeconds float64 `json:"wall_s"`
 	Fallback    bool    `json:"fallback,omitempty"`
+	// PhaseBreakdown is present only when the sweep ran with tracing on
+	// (Harness.Trace); the default BENCH files omit it, keeping them
+	// bit-identical to pre-tracing files.
+	PhaseBreakdown []trace.PhaseCost `json:"phase_breakdown,omitempty"`
 }
 
 // BenchFile is the top-level shape of a BENCH_*.json file. HostWorkers
@@ -55,6 +60,8 @@ func (h *Harness) BenchJSON() ([]byte, error) {
 				BytesSent:   r.BytesSent,
 				WallSeconds: r.WallSeconds,
 				Fallback:    r.Fallback,
+
+				PhaseBreakdown: r.Breakdown,
 			})
 		}
 	}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// PhaseBreakdown sweeps ScalaPart over the suite with tracing enabled
+// and renders the per-phase virtual-time and byte-volume table for
+// every (graph, P) run — the `-phase-breakdown` experiment of
+// benchsuite. Traced runs live under their own cache key (envKey), so
+// the sweep never contaminates untraced results.
+func (h *Harness) PhaseBreakdown() string {
+	prevTrace := h.Trace
+	h.Trace = true
+	defer func() { h.Trace = prevTrace }()
+	var sb strings.Builder
+	sb.WriteString("Per-phase virtual-time and byte-volume breakdown (ScalaPart)\n")
+	sb.WriteString("columns: time_s = phase virtual time (max over ranks); comp/comm/wait split it;\n")
+	sb.WriteString("ts_s/tw_s/to_s = the Section 3.1 latency / bandwidth / per-peer cost terms;\n")
+	sb.WriteString("bytes/msgs/colls are summed over ranks.\n")
+	for _, name := range SuiteNames() {
+		for _, p := range h.Ps {
+			r := h.Get(name, MethodSP, p)
+			fmt.Fprintf(&sb, "\n%s  P=%d  (cut %d, modeled %.4gs%s)\n",
+				name, p, r.Cut, r.Time, fallbackTag(r))
+			if len(r.Breakdown) == 0 {
+				sb.WriteString("  no trace (run fell back to the sequential baseline)\n")
+				continue
+			}
+			sb.WriteString((&trace.Breakdown{Phases: r.Breakdown}).Table())
+		}
+	}
+	return sb.String()
+}
+
+func fallbackTag(r *Run) string {
+	if r.Fallback {
+		return ", sequential fallback"
+	}
+	return ""
+}

@@ -18,7 +18,10 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geometry"
 	"repro/internal/geopart"
+	"repro/internal/graph"
+	"repro/internal/hostpar"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 )
 
 // Method names, as used throughout tables and figures.
@@ -49,11 +52,20 @@ type Run struct {
 	Times       core.PhaseTimes // phase breakdown (ScalaPart runs)
 	StripSize   int
 	Fallback    bool // the parallel run failed; this is the sequential recovery result
+
+	// Breakdown is the aggregated per-phase cost table of the run,
+	// populated only when the harness runs with tracing on (h.Trace).
+	Breakdown []trace.PhaseCost
 }
 
 type runKey struct {
 	graph, method string
 	p             int
+	// env fingerprints every process-global knob that can change a
+	// run's recorded statistics, so two sweeps under different settings
+	// (worker pools, kernel hooks, fault plans, tracing) never share a
+	// cached Run. See Harness.envKey.
+	env string
 }
 
 // Harness caches graphs, force-directed layouts, and runs. All caches
@@ -65,6 +77,7 @@ type Harness struct {
 	Model   mpi.Model
 	Out     io.Writer // progress log; nil silences
 	Workers int       // Precompute pool size; 0 = one per available core
+	Trace   bool      // record per-run traces and fill Run.Breakdown
 
 	logMu   sync.Mutex
 	graphs  cache[string, *gen.Generated]
@@ -146,10 +159,22 @@ func seedOf(name string) int64 {
 
 // Get computes (or retrieves) one run.
 func (h *Harness) Get(graphName, method string, p int) *Run {
-	key := runKey{graphName, method, p}
+	key := runKey{graphName, method, p, h.envKey()}
 	return h.runs.get(key, func() *Run {
 		return h.compute(graphName, method, p)
 	})
+}
+
+// envKey fingerprints the process-global and harness-level knobs a run
+// depends on beyond (graph, method, P): the host worker pool (wall
+// clocks), the batching / parallel-build / pooling hooks (wall clocks
+// and allocations), the fault plan (everything), and tracing (the
+// Breakdown field). Two Gets with different fingerprints compute
+// independent runs instead of sharing a stale cache entry.
+func (h *Harness) envKey() string {
+	return fmt.Sprintf("w%d|batch%t|pbuild%t|pool%t|trace%t|faults:%s",
+		hostpar.Workers(), geopart.Batching(), graph.ParallelBuild(),
+		mpi.PoolingEnabled(), h.Trace, h.Model.Faults.Key())
 }
 
 // ParallelMethods lists the methods whose runs execute on the simulated
@@ -234,6 +259,11 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 	case MethodSP:
 		opt := core.DefaultOptions(seed)
 		opt.Model = h.Model
+		var rec *trace.Recorder
+		if h.Trace {
+			rec = trace.New()
+			opt.Model.Trace = rec
+		}
 		res, err := core.PartitionChecked(g.G, p, opt)
 		if err != nil {
 			return h.fallbackRun(run, g, seed, err)
@@ -243,6 +273,9 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 		run.Times = res.Times
 		run.StripSize = res.StripSize
 		run.addStats(res.Stats)
+		if rec != nil {
+			run.Breakdown = rec.Breakdown().Phases
+		}
 	case MethodSPPG:
 		res, err := core.PartitionGeometricChecked(g.G, h.HuCoords(graphName), p, geopart.DefaultParallelConfig(), h.Model)
 		if err != nil {

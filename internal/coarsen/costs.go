@@ -1,6 +1,8 @@
 package coarsen
 
 import (
+	"strconv"
+
 	"repro/internal/hostpar"
 	"repro/internal/mpi"
 )
@@ -50,6 +52,7 @@ func ChargeCosts(c *mpi.Comm, h *Hierarchy, boundary [][]int64, rounds, stepsPer
 		if sub == nil {
 			continue
 		}
+		sub.SetPhase("coarsen/L" + strconv.Itoa(li))
 		r := sub.Rank()
 		begin, end := lev.Offsets[r], lev.Offsets[r+1]
 		myVerts := float64(end - begin)
@@ -59,7 +62,11 @@ func ChargeCosts(c *mpi.Comm, h *Hierarchy, boundary [][]int64, rounds, stepsPer
 			// One negotiation round: request + grant halo messages, an
 			// irregular counts exchange, and the convergence reduction.
 			sub.ChargeComm(8, int(boundary[li][r])*12)
-			sub.SyncCost(m.Latency*log2f(sub.Size()) + (m.PerByte*4+m.PerPeer)*float64(sub.Size()))
+			sub.SyncCostParts(
+				m.Latency*log2f(sub.Size())+(m.PerByte*4+m.PerPeer)*float64(sub.Size()),
+				m.Latency*log2f(sub.Size()),
+				m.PerByte*4*float64(sub.Size()),
+				m.PerPeer*float64(sub.Size()))
 			mpi.AllReduce(sub, int64(0), 8, mpi.SumInt64)
 		}
 		// Contraction exchange: each rank ships its share of matched
@@ -67,7 +74,11 @@ func ChargeCosts(c *mpi.Comm, h *Hierarchy, boundary [][]int64, rounds, stepsPer
 		// distributed; only per-rank shares move).
 		next := &h.Levels[li+1]
 		perRank := 8 * len(next.G.Adjncy) / sub.Size()
-		sub.SyncCost(m.Latency*log2f(sub.Size()) + m.PerByte*float64(perRank+int(boundary[li][r])*8))
+		sub.SyncCostParts(
+			m.Latency*log2f(sub.Size())+m.PerByte*float64(perRank+int(boundary[li][r])*8),
+			m.Latency*log2f(sub.Size()),
+			m.PerByte*float64(perRank+int(boundary[li][r])*8),
+			0)
 	}
 }
 

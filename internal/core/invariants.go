@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CheckPartition validates the bisection invariants the partitioners
+// promise (the partition half of -check-invariants; the runtime half
+// lives in trace.Recorder.CheckInvariants):
+//
+//   - every vertex is assigned to side 0 or 1;
+//   - the side weights sum to the total vertex weight of the graph;
+//   - the cut counted from side 0's arcs equals the cut counted from
+//     side 1's arcs, and both equal the reported cut;
+//   - the reported imbalance equals the canonical definition
+//     graph.Imbalance2 applied to the side weights, bit-for-bit.
+func CheckPartition(g *graph.Graph, part []int32, cut int64, imbalance float64) error {
+	n := g.NumVertices()
+	if len(part) != n {
+		return fmt.Errorf("partition invariant: len(part)=%d, want %d vertices", len(part), n)
+	}
+	var w [2]int64
+	for v := int32(0); v < int32(n); v++ {
+		s := part[v]
+		if s != 0 && s != 1 {
+			return fmt.Errorf("partition invariant: part[%d]=%d, want 0 or 1", v, s)
+		}
+		w[s] += int64(g.VertexWeight(v))
+	}
+	if total := g.TotalVertexWeight(); w[0]+w[1] != total {
+		return fmt.Errorf("partition invariant: side weights %d+%d != total vertex weight %d",
+			w[0], w[1], total)
+	}
+	// Count the cut twice, once from each side's outgoing arcs: every
+	// cut edge (u,v) contributes its arc weight to its side-0 endpoint's
+	// count and to its side-1 endpoint's count, so the two must agree.
+	var fromSide [2]int64
+	for u := int32(0); u < int32(n); u++ {
+		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
+			if part[g.Adjncy[k]] != part[u] {
+				fromSide[part[u]] += int64(g.ArcWeight(k))
+			}
+		}
+	}
+	if fromSide[0] != fromSide[1] {
+		return fmt.Errorf("partition invariant: cut counted from side 0 is %d but from side 1 is %d",
+			fromSide[0], fromSide[1])
+	}
+	if fromSide[0] != cut {
+		return fmt.Errorf("partition invariant: reported cut %d, recount gives %d", cut, fromSide[0])
+	}
+	if want := graph.Imbalance2(w[0], w[1]); imbalance != want {
+		return fmt.Errorf("partition invariant: reported imbalance %v, side weights give %v", imbalance, want)
+	}
+	return nil
+}
+
+// CheckResult applies CheckPartition to a pipeline Result.
+func CheckResult(g *graph.Graph, res *Result) error {
+	return CheckPartition(g, res.Part, res.Cut, res.Imbalance)
+}

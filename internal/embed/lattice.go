@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/geometry"
@@ -471,6 +472,13 @@ func (s *levelState) pushGhosts() {
 			continue
 		}
 		b := mpi.RecvVec[geometry.Vec2](s.comm, r)
+		if len(b.Data) != len(slots) {
+			// A corrupted (truncated) refresh must not index out of
+			// range and must not strand the pooled transport buffer.
+			n := len(b.Data)
+			b.Release()
+			panic(fmt.Errorf("embed: ghost refresh from rank %d carried %d coordinates, want %d (truncated payload?)", r, n, len(slots)))
+		}
 		s.applyGhostUpdate(slots, b.Data)
 		b.Release()
 	}
@@ -522,6 +530,11 @@ func (s *levelState) exchangeNeighborhood() {
 	}
 	s.nbrBufs = bufs
 	mpi.NeighborExchange(s.comm, s.nbrs, bufs, 8, func(_, r int, d []float64) {
+		if want := 3*nc + 2*len(s.recvFrom[r]); len(d) != want {
+			// NeighborExchange releases the transport buffer under
+			// defer, so rejecting a truncated payload here cannot leak.
+			panic(fmt.Errorf("embed: neighbour payload from rank %d carried %d values, want %d (truncated payload?)", r, len(d), want))
+		}
 		for j := range s.recvCells {
 			s.recvCells[j] = beta{
 				Phi: geometry.Vec2{X: d[3*j], Y: d[3*j+1]},

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"slices"
+	"strconv"
 
 	"repro/internal/coarsen"
 	"repro/internal/geometry"
@@ -61,6 +62,7 @@ func ParallelEmbed(c *mpi.Comm, h *coarsen.Hierarchy, opt ParallelOptions) *Dist
 		if sub == nil {
 			continue // this rank is not active yet
 		}
+		sub.SetPhase("embed/L" + strconv.Itoa(li))
 		if li == last {
 			st = initCoarsest(sub, lev, opt)
 			st.Smooth(opt.IterCoarsest, opt.BlockSize)

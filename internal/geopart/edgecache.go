@@ -32,6 +32,10 @@ func SetBatching(on bool) bool {
 	return prev
 }
 
+// Batching reports whether the batched candidate kernels are enabled.
+// Cache keys that fingerprint process-global knobs read it.
+func Batching() bool { return batchingOn.Load() }
+
 // edgeCache is the per-partition edge topology cache: one pass over
 // d.OwnedIDs resolves every CSR edge endpoint of an owned vertex to a
 // dense slot id, so the per-candidate cut loop and the strip extraction

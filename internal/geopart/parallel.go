@@ -161,6 +161,7 @@ type evaluated struct {
 // it; both kernels produce bit-identical cuts, sides, and virtual
 // clocks — batching only changes host wall-clock and allocations.
 func ParallelPartition(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg ParallelConfig) *ParallelResult {
+	c.SetPhase("geopart")
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed + 17))
 	totalW := g.TotalVertexWeight()
@@ -468,16 +469,11 @@ func ownedIndex(d *embed.Distributed, id int32) (int32, bool) {
 	return 0, false
 }
 
+// imbalance2 delegates to the canonical bisection-imbalance definition
+// in the graph package, so the parallel accept path and the sequential
+// one (graph.Imbalance(g, part, 2)) agree bit-for-bit on every split.
 func imbalance2(w0, w1 int64) float64 {
-	t := w0 + w1
-	if t == 0 {
-		return 0
-	}
-	mx := w0
-	if w1 > mx {
-		mx = w1
-	}
-	return 2*float64(mx)/float64(t) - 1
+	return graph.Imbalance2(w0, w1)
 }
 
 // gatherSample collects an id-tagged coordinate sample of roughly

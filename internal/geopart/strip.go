@@ -32,6 +32,7 @@ type stripRecord struct {
 // and the ring scan is pure array indexing; with ec nil (legacy
 // kernel) the scan falls back to the ghost map and owned binary search.
 func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg ParallelConfig, ec *edgeCache, valOwned, valGhost, sampleAbs []float64, tVal float64, totalW int64, res *ParallelResult) {
+	c.SetPhase("refine")
 	n := g.NumVertices()
 	target := int(cfg.StripFactor * float64(res.CutBefore))
 	if target < 64 {

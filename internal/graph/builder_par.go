@@ -36,6 +36,10 @@ func SetParallelBuild(on bool) bool {
 	return prev
 }
 
+// ParallelBuild reports whether the parallel Build path is enabled.
+// Cache keys that fingerprint process-global knobs read it.
+func ParallelBuild() bool { return parallelBuild.Load() }
+
 // parallelBuildMinEdges is the record count below which the serial path
 // is cheaper than forking. A var so package tests can force tiny builds
 // through the parallel path.

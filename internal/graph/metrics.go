@@ -34,9 +34,14 @@ func PartWeights(g *Graph, part []int32, k int) []int64 {
 }
 
 // Imbalance returns max_i(k * w_i / W) - 1 for a k-way partition: 0 for
-// perfectly balanced, 0.05 for 5% over the ideal part weight.
+// perfectly balanced, 0.05 for 5% over the ideal part weight. The k=2
+// case delegates to Imbalance2, the single definition every bisection
+// accept path shares.
 func Imbalance(g *Graph, part []int32, k int) float64 {
 	w := PartWeights(g, part, k)
+	if k == 2 {
+		return Imbalance2(w[0], w[1])
+	}
 	total := int64(0)
 	for _, wi := range w {
 		total += wi
@@ -51,6 +56,23 @@ func Imbalance(g *Graph, part []int32, k int) float64 {
 		}
 	}
 	return float64(k)*float64(mx)/float64(total) - 1
+}
+
+// Imbalance2 is the canonical bisection imbalance from side weights:
+// 2·max(w0,w1)/(w0+w1) − 1, and 0 for an empty graph. Both the
+// geometric partitioner's accept paths and the metrics layer use
+// exactly this definition, so cached and recomputed imbalances compare
+// bit-identically.
+func Imbalance2(w0, w1 int64) float64 {
+	total := w0 + w1
+	if total == 0 {
+		return 0
+	}
+	mx := w0
+	if w1 > mx {
+		mx = w1
+	}
+	return 2*float64(mx)/float64(total) - 1
 }
 
 // SeparatorEdges returns the Adjncy-ordered list of (u,v) pairs with

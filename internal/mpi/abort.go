@@ -190,6 +190,13 @@ func (w *World) watchdog(window time.Duration, stop <-chan struct{}) {
 		if first >= 0 && cur[first] != nil {
 			re.Phase = cur[first].phase
 		}
+		// Re-check right before aborting: a real rank failure may have
+		// poisoned the world between our sample and now, leaving stale
+		// wait records from the dying generation. The genuine RankError
+		// must win over a spurious deadlock dump built from them.
+		if w.aborted.Load() {
+			return
+		}
 		w.abort(re)
 		return
 	}

@@ -42,7 +42,13 @@ func AllToAllV[T any](c *Comm, dest [][]T, bytesPerElem int) [][]T {
 // Modeled as an all-to-all of one int32 per pair.
 func exchangeCounts(c *Comm, counts []int32) []int32 {
 	m := c.Model()
-	cost := m.Latency*log2ceil(c.size) + m.PerByte*4*float64(c.size) + m.PerPeer*float64(c.size)
+	cost := collCost{
+		total: m.Latency*log2ceil(c.size) + m.PerByte*4*float64(c.size) + m.PerPeer*float64(c.size),
+		ts:    m.Latency * log2ceil(c.size),
+		tw:    m.PerByte * 4 * float64(c.size),
+		to:    m.PerPeer * float64(c.size),
+		bytes: 4 * int64(c.size),
+	}
 	res := c.runCollective("AllToAllV.counts", counts, func(vals []any) any {
 		// vals[src][dst]: build the full matrix once; each rank
 		// extracts its column after the collective.

@@ -10,7 +10,13 @@ package mpi
 // 2·(Latency + PerByte·bytes)·log2(P).
 func AllReduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 	m := c.Model()
-	cost := 2 * (m.Latency + m.PerByte*float64(bytes)) * log2ceil(c.size)
+	lg := log2ceil(c.size)
+	cost := collCost{
+		total: 2 * (m.Latency + m.PerByte*float64(bytes)) * lg,
+		ts:    2 * m.Latency * lg,
+		tw:    2 * m.PerByte * float64(bytes) * lg,
+		bytes: int64(bytes),
+	}
 	res := c.runCollective("AllReduce", val, func(vals []any) any {
 		acc := vals[0].(T)
 		for _, v := range vals[1:] {
@@ -27,7 +33,13 @@ func AllReduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 // reductions whose results every processor ends up needing.
 func Reduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 	m := c.Model()
-	cost := (m.Latency + m.PerByte*float64(bytes)) * log2ceil(c.size)
+	lg := log2ceil(c.size)
+	cost := collCost{
+		total: (m.Latency + m.PerByte*float64(bytes)) * lg,
+		ts:    m.Latency * lg,
+		tw:    m.PerByte * float64(bytes) * lg,
+		bytes: int64(bytes),
+	}
 	res := c.runCollective("Reduce", val, func(vals []any) any {
 		acc := vals[0].(T)
 		for _, v := range vals[1:] {
@@ -42,7 +54,14 @@ func Reduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 // ranks. bytesPerElem sizes the payload.
 func AllReduceSlice[T any](c *Comm, vals []T, bytesPerElem int, op func(a, b T) T) []T {
 	m := c.Model()
-	cost := 2 * (m.Latency + m.PerByte*float64(bytesPerElem*len(vals))) * log2ceil(c.size)
+	lg := log2ceil(c.size)
+	b := bytesPerElem * len(vals)
+	cost := collCost{
+		total: 2 * (m.Latency + m.PerByte*float64(b)) * lg,
+		ts:    2 * m.Latency * lg,
+		tw:    2 * m.PerByte * float64(b) * lg,
+		bytes: int64(b),
+	}
 	res := c.runCollective("AllReduceSlice", vals, func(contribs []any) any {
 		first := contribs[0].([]T)
 		acc := append([]T(nil), first...)
@@ -64,7 +83,13 @@ func AllReduceSlice[T any](c *Comm, vals []T, bytesPerElem int, op func(a, b T) 
 // every rank. Cost: Latency·log2(P) + PerByte·(P-1)·bytes (ring).
 func AllGather[T any](c *Comm, val T, bytes int) []T {
 	m := c.Model()
-	cost := m.Latency*log2ceil(c.size) + m.PerByte*float64(bytes)*float64(c.size-1)
+	lg := log2ceil(c.size)
+	cost := collCost{
+		total: m.Latency*lg + m.PerByte*float64(bytes)*float64(c.size-1),
+		ts:    m.Latency * lg,
+		tw:    m.PerByte * float64(bytes) * float64(c.size-1),
+		bytes: int64(bytes),
+	}
 	res := c.runCollective("AllGather", val, func(vals []any) any {
 		out := make([]T, len(vals))
 		for i, v := range vals {
@@ -87,7 +112,13 @@ func AllGatherV[T any](c *Comm, vals []T, bytesPerElem int) [][]T {
 	// collective is run with a size-exchange first: a cheap AllReduce
 	// of the local byte count, then the gather charged with the total.
 	total := AllReduce(c, len(vals)*bytesPerElem, 8, func(a, b int) int { return a + b })
-	cost := m.Latency*log2ceil(c.size) + m.PerByte*float64(total)
+	lg := log2ceil(c.size)
+	cost := collCost{
+		total: m.Latency*lg + m.PerByte*float64(total),
+		ts:    m.Latency * lg,
+		tw:    m.PerByte * float64(total),
+		bytes: int64(total),
+	}
 	res := c.runCollective("AllGatherV", vals, func(contribs []any) any {
 		out := make([][]T, len(contribs))
 		for i, v := range contribs {

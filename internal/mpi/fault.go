@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 )
 
 // FaultKind enumerates the deterministic faults a FaultPlan can inject
@@ -97,6 +98,24 @@ func (p *FaultPlan) Delay(rank int, event int64, seconds float64) *FaultPlan {
 func (p *FaultPlan) Truncate(rank int, event int64) *FaultPlan {
 	p.Faults = append(p.Faults, Fault{Kind: TruncatePayload, Rank: rank, Event: event})
 	return p
+}
+
+// Key returns a canonical string identity of the plan, usable in cache
+// keys: two plans with the same key inject the same faults. The empty
+// plan (or nil) keys to "".
+func (p *FaultPlan) Key() string {
+	if p == nil || len(p.Faults) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, f := range p.Faults {
+		fmt.Fprintf(&b, "%s:%d@%d", f.Kind, f.Rank, f.Event)
+		if f.Kind == DelayMessage {
+			fmt.Fprintf(&b, "+%g", f.Delay)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
 }
 
 // RandomKillPlan derives a single seeded kill fault: a pseudo-random

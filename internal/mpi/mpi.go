@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Model holds the machine constants of the simulated cluster.
@@ -64,6 +66,12 @@ type Model struct {
 	// Faults optionally injects deterministic failures into the run;
 	// nil (the default) runs fault-free. See FaultPlan.
 	Faults *FaultPlan
+	// Trace optionally records structured per-rank events (sends,
+	// receives, collectives with their ts/tw/to cost split, phase
+	// spans, faults) into the given recorder. Tracing is passive: it
+	// never touches virtual clocks, so a traced run is bit-identical to
+	// an untraced one. Use one Recorder per run.
+	Trace *trace.Recorder
 }
 
 // DefaultModel returns constants representative of the paper's testbed
@@ -117,6 +125,7 @@ type message struct {
 	data    any
 	arrival float64 // virtual time at which the payload is available
 	cost    float64 // modeled transfer cost (Latency + PerByte·bytes)
+	bytes   int64   // modeled payload size (trace/invariant bookkeeping)
 }
 
 // rankState is the per-rank mutable state shared by all Comms of that
@@ -136,6 +145,8 @@ type rankState struct {
 	events int64  // communication events so far (fault-plan positions)
 	phase  string // set via Comm.SetPhase; read only by the owning goroutine
 	wait   atomic.Pointer[waitInfo]
+
+	tr *trace.RankTrace // nil unless Model.Trace is set; owning goroutine only
 }
 
 // World is a group of simulated ranks. Create one per parallel run via
@@ -221,10 +232,17 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 	// rank sending twice (two pipelined exchange phases) before this
 	// rank drains.
 	capacity := 2*p + 64
+	var traces []*trace.RankTrace
+	if model.Trace != nil {
+		traces = model.Trace.Attach(p)
+	}
 	for i := range w.ranks {
 		w.ranks[i] = &rankState{
 			inbox:   make(chan message, capacity),
 			pending: make(map[int][]message),
+		}
+		if traces != nil {
+			w.ranks[i].tr = traces[i]
 		}
 	}
 	var wg sync.WaitGroup
@@ -237,6 +255,9 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 				e := recover()
 				st.wait.Store(&waitInfo{kind: waitDone, clock: st.clock, phase: st.phase})
 				w.progress.Add(1)
+				if st.tr != nil {
+					st.tr.Finish(st.clock, st.commTime, st.bytesSent)
+				}
 				if e == nil {
 					return
 				}
@@ -264,6 +285,25 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 	wg.Wait()
 	if stopWatchdog != nil {
 		close(stopWatchdog)
+	}
+	// A faulted teardown can strand in-flight pooled payloads in inboxes
+	// and pending queues; return them to their pools so long fault sweeps
+	// keep the pooling ledger balanced (see PoolBalance).
+	for _, st := range w.ranks {
+	drain:
+		for {
+			select {
+			case m := <-st.inbox:
+				releasePayload(m.data)
+			default:
+				break drain
+			}
+		}
+		for _, q := range st.pending {
+			for _, m := range q {
+				releasePayload(m.data)
+			}
+		}
 	}
 	stats := make([]RankStats, p)
 	for r, st := range w.ranks {
@@ -342,8 +382,15 @@ func (c *Comm) CommElapsed() float64 { return c.state.commTime }
 
 // SetPhase labels the algorithm phase this rank is in ("coarsen",
 // "embed", "partition", ...). The label is attached to RankErrors and
-// watchdog diagnostics; it has no effect on clocks or semantics.
-func (c *Comm) SetPhase(name string) { c.state.phase = name }
+// watchdog diagnostics, and — when tracing — opens a new phase span at
+// the current clock; it has no effect on clocks or semantics.
+func (c *Comm) SetPhase(name string) {
+	st := c.state
+	if st.tr != nil && name != st.phase {
+		st.tr.PhaseChange(name, st.clock, st.commTime, st.bytesSent)
+	}
+	st.phase = name
+}
 
 // Phase returns the current phase label.
 func (c *Comm) Phase() string { return c.state.phase }
@@ -369,8 +416,13 @@ func (c *Comm) commEvent(op string) *Fault {
 	ev := c.state.events
 	c.state.events++
 	f := c.world.model.Faults.at(c.rank, ev)
-	if f != nil && f.Kind == KillRank {
-		panic(&InjectedFault{Rank: c.rank, Event: ev})
+	if f != nil {
+		if c.state.tr != nil {
+			c.state.tr.Fault(f.Kind.String(), op, ev, c.state.clock)
+		}
+		if f.Kind == KillRank {
+			panic(&InjectedFault{Rank: c.rank, Event: ev})
+		}
 	}
 	return f
 }
@@ -447,7 +499,7 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 		}
 	}
 	if deliver {
-		msg := message{src: c.rank, data: data, arrival: arrival, cost: cost}
+		msg := message{src: c.rank, data: data, arrival: arrival, cost: cost, bytes: int64(bytes)}
 		select {
 		case c.world.ranks[to].inbox <- msg:
 			// Fast path: the inbox had room, nothing blocked, so no
@@ -457,17 +509,29 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 			select {
 			case c.world.ranks[to].inbox <- msg:
 			case <-c.world.abortCh:
+				// Clear the wait record before tearing down: a stale
+				// "blocked sending" snapshot would otherwise feed the
+				// watchdog a misleading deadlock dump during abort.
+				c.endWait()
 				panic(abortSignal{})
 			}
 			c.endWait()
 		}
+	} else {
+		// A dropped pooled payload never reaches a receiver's Release;
+		// return it to its pool here so fault sweeps stay balanced.
+		releasePayload(data)
 	}
 	// A dropped message still charges the sender: the fault is on the
 	// wire, and no other rank's clock may move because of it.
+	t0 := c.state.clock
 	c.state.clock += m.Latency
 	c.state.commTime += m.Latency
 	c.state.bytesSent += int64(bytes)
 	c.state.messages++
+	if c.state.tr != nil {
+		c.state.tr.Send(op, to, int64(bytes), t0, c.state.clock, m.Latency)
+	}
 }
 
 // Recv blocks until a message from rank `from` is available and returns
@@ -510,11 +574,14 @@ func (c *Comm) recvOp(from int, op string) any {
 				}
 				c.state.pending[in.src] = append(c.state.pending[in.src], in)
 			case <-c.world.abortCh:
+				// Clear the wait record before tearing down (see sendOp).
+				c.endWait()
 				panic(abortSignal{})
 			}
 		}
 		c.endWait()
 	}
+	t0 := c.state.clock
 	advance := msg.arrival - c.state.clock
 	if advance > 0 {
 		c.state.clock = msg.arrival
@@ -529,6 +596,9 @@ func (c *Comm) recvOp(from int, op string) any {
 		comm = advance
 	}
 	c.state.commTime += comm
+	if c.state.tr != nil {
+		c.state.tr.Recv(op, from, msg.bytes, t0, c.state.clock, comm)
+	}
 	return msg.data
 }
 
@@ -563,19 +633,39 @@ func log2ceil(n int) float64 {
 	return math.Ceil(math.Log2(float64(n)))
 }
 
+// collCost is the declared cost of one collective: total is the exact
+// expression charged to the clock (computed precisely as it was before
+// tracing existed, so traced and untraced runs stay bit-identical);
+// ts/tw/to split the same cost into the paper's latency, bandwidth, and
+// per-peer terms for the breakdown table, and bytes is the modeled
+// payload volume. The split is informational only — ts+tw+to may differ
+// from total in the last float bit, and only total is ever charged.
+type collCost struct {
+	total float64
+	ts    float64
+	tw    float64
+	to    float64
+	bytes int64
+}
+
 // runCollective performs the generation-matched rendezvous: every rank
 // of the communicator contributes val; combine runs once, in rank
 // order, when the last rank arrives; all ranks' clocks advance to
-// max(clock) + cost and the combined value is returned to each. op
-// names the collective in fault positions and watchdog diagnostics.
-func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, cost float64) any {
+// max(clock) + cost.total and the combined value is returned to each.
+// op names the collective in fault positions and watchdog diagnostics.
+func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, cost collCost) any {
 	f := c.commEvent(op)
 	if f != nil && f.Kind == TruncatePayload {
 		val = truncatePayload(val)
 	}
+	t0 := c.state.clock
 	if c.size == 1 {
-		c.state.clock += cost
-		c.state.commTime += cost
+		c.state.clock += cost.total
+		c.state.commTime += cost.total
+		if c.state.tr != nil {
+			c.state.tr.Coll(op, 1, -1, cost.bytes, cost.ts, cost.tw, cost.to,
+				t0, c.state.clock, cost.total)
+		}
 		return combine([]any{val})
 	}
 
@@ -584,7 +674,7 @@ func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, c
 	myGen := coll.gen
 	coll.vals[c.rank] = val
 	coll.clocks[c.rank] = c.state.clock
-	coll.costs[c.rank] = cost
+	coll.costs[c.rank] = cost.total
 	coll.count++
 	if coll.count == coll.size {
 		mx := coll.clocks[0]
@@ -620,6 +710,10 @@ func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, c
 		for coll.gen == myGen {
 			if c.world.aborted.Load() {
 				coll.mu.Unlock()
+				// Clear the stale "blocked in collective gen N" record
+				// before tearing down: the generation is dead and the
+				// watchdog must not dump it as a deadlock.
+				c.endWait()
 				panic(abortSignal{})
 			}
 			coll.cond.Wait()
@@ -628,17 +722,23 @@ func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, c
 	}
 	res, done := coll.result, coll.done
 	coll.mu.Unlock()
+	charged := 0.0
 	if done > c.state.clock {
 		advance := done - c.state.clock
 		c.state.clock = done
 		// Only the collective's own cost counts as communication; the
 		// remainder of the advance is waiting on slower ranks (load
 		// imbalance or late activation).
-		comm := cost
+		comm := cost.total
 		if advance < comm {
 			comm = advance
 		}
 		c.state.commTime += comm
+		charged = comm
+	}
+	if c.state.tr != nil {
+		c.state.tr.Coll(op, c.size, myGen, cost.bytes, cost.ts, cost.tw, cost.to,
+			t0, c.state.clock, charged)
 	}
 	return res
 }
@@ -658,8 +758,9 @@ func safeCombine(combine func([]any) any, vals []any) (res any, panicked any) {
 // log2(P)-depth tree of latencies.
 func (c *Comm) Barrier() {
 	m := c.world.model
+	total := m.Latency * log2ceil(c.size)
 	c.runCollective("Barrier", nil, func([]any) any { return nil },
-		m.Latency*log2ceil(c.size))
+		collCost{total: total, ts: total})
 }
 
 // Bcast distributes root's data to every rank. bytes is the payload
@@ -669,8 +770,14 @@ func (c *Comm) Bcast(root int, data any, bytes int) any {
 		panic("mpi: Bcast root out of range")
 	}
 	m := c.world.model
+	lg := log2ceil(c.size)
 	return c.runCollective("Bcast", data, func(vals []any) any { return vals[root] },
-		(m.Latency+m.PerByte*float64(bytes))*log2ceil(c.size))
+		collCost{
+			total: (m.Latency + m.PerByte*float64(bytes)) * lg,
+			ts:    m.Latency * lg,
+			tw:    m.PerByte * float64(bytes) * lg,
+			bytes: int64(bytes),
+		})
 }
 
 // phaseMarker supports PhaseTimer.
@@ -700,14 +807,31 @@ func (t PhaseTimer) Stop() (total, comm float64) {
 func (c *Comm) ChargeComm(messages, bytes int) {
 	m := c.world.model
 	d := float64(messages)*m.Latency + float64(bytes)*m.PerByte
+	t0 := c.state.clock
 	c.state.clock += d
 	c.state.commTime += d
+	if c.state.tr != nil {
+		c.state.tr.Charge("ChargeComm", int64(bytes),
+			float64(messages)*m.Latency, float64(bytes)*m.PerByte, t0, c.state.clock)
+	}
 }
 
 // SyncCost synchronises the communicator like Barrier but charges the
 // given collective cost (seconds) instead of the barrier tree formula.
+// The cost is left unattributed in the trace breakdown; callers that
+// know the ts/tw/to split use SyncCostParts.
 func (c *Comm) SyncCost(cost float64) {
-	c.runCollective("SyncCost", nil, func([]any) any { return nil }, cost)
+	c.runCollective("SyncCost", nil, func([]any) any { return nil }, collCost{total: cost})
+}
+
+// SyncCostParts is SyncCost with the charged total decomposed into the
+// paper's latency (ts), bandwidth (tw), and per-peer (to) terms for the
+// trace breakdown. total must be the exact value the caller would have
+// passed to SyncCost — it is charged verbatim; the parts are
+// informational only.
+func (c *Comm) SyncCostParts(total, ts, tw, to float64) {
+	c.runCollective("SyncCost", nil, func([]any) any { return nil },
+		collCost{total: total, ts: ts, tw: tw, to: to})
 }
 
 // CollectiveCost returns the modeled cost of a tree collective moving

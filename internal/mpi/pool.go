@@ -35,7 +35,13 @@ type VecBuf[T any] struct {
 // buffer obtained while pooling was disabled is a no-op. The caller
 // must not use Data afterwards.
 func (b *VecBuf[T]) Release() {
-	if b != nil && b.pool != nil {
+	if b == nil {
+		return
+	}
+	if poolAccounting.Load() {
+		poolPuts.Add(1)
+	}
+	if b.pool != nil {
 		b.pool.p.Put(b)
 	}
 }
@@ -82,9 +88,54 @@ func SetPooling(on bool) bool {
 	return prev
 }
 
+// PoolingEnabled reports whether pooled buffer reuse is on. Cache keys
+// that fingerprint process-global knobs read it.
+func PoolingEnabled() bool { return poolingOn.Load() }
+
+// Pool accounting: an opt-in ledger of buffer Gets and Releases, used
+// by fault tests to assert that every buffer drawn from a pool is
+// eventually released — a truncated or dropped message must not strand
+// its payload forever (the "pool leak" class of bug).
+var (
+	poolAccounting atomic.Bool
+	poolGets       atomic.Int64
+	poolPuts       atomic.Int64
+)
+
+// SetPoolAccounting enables or disables the Get/Release ledger and
+// returns the previous setting; enabling it resets both counters.
+func SetPoolAccounting(on bool) bool {
+	prev := poolAccounting.Swap(on)
+	if on && !prev {
+		poolGets.Store(0)
+		poolPuts.Store(0)
+	}
+	return prev
+}
+
+// PoolBalance returns the ledger: buffers drawn from pools and buffers
+// released since accounting was enabled. A balanced run has gets ==
+// puts once every world has been torn down.
+func PoolBalance() (gets, puts int64) {
+	return poolGets.Load(), poolPuts.Load()
+}
+
+// releasePayload returns a message payload to its pool if it is a
+// releasable buffer; any other payload type is left to the GC. Used on
+// the paths where a payload dies without reaching its receiver: dropped
+// messages and faulted-world teardown.
+func releasePayload(data any) {
+	if rel, ok := data.(interface{ Release() }); ok {
+		rel.Release()
+	}
+}
+
 // Get returns a buffer with len n, reusing pooled capacity when
 // available.
 func (p *VecPool[T]) Get(n int) *VecBuf[T] {
+	if poolAccounting.Load() {
+		poolGets.Add(1)
+	}
 	if !poolingOn.Load() {
 		return &VecBuf[T]{Data: make([]T, n)}
 	}
@@ -146,7 +197,12 @@ func NeighborExchange[T any](c *Comm, partners []int, bufs []*VecBuf[T], bytesPe
 	}
 	for i, r := range partners {
 		b := c.recvOp(r, "NeighborExchange").(*VecBuf[T])
-		recv(i, r, b.Data)
-		b.Release()
+		// Release under defer: recv is caller code and may panic (e.g.
+		// rejecting a truncated payload); the transport buffer must go
+		// back to its pool either way.
+		func() {
+			defer b.Release()
+			recv(i, r, b.Data)
+		}()
 	}
 }

@@ -1,0 +1,45 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestKillMidCollectiveNeverReportsDeadlock is the regression test for
+// the stale-wait bug: when a rank is killed in the middle of a
+// collective, the survivors unwind via the abort channel while their
+// waitColl records are still visible to the watchdog. With a window
+// short enough to poll during teardown, the watchdog used to build a
+// spurious DeadlockError out of those dying-generation snapshots and
+// race it against the genuine fault. The contract, over many trials at
+// the smallest practical window: the injected fault always wins, and a
+// deadlock is never reported.
+func TestKillMidCollectiveNeverReportsDeadlock(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		m := watchdogModel(4 * time.Millisecond) // 1ms poll interval, the minimum
+		m.Faults = NewFaultPlan().Kill(3, 7)
+		_, err := RunChecked(6, m, func(c *Comm) {
+			c.SetPhase("rounds")
+			for i := 0; i < 32; i++ {
+				AllReduce(c, float64(c.Rank()), 8, SumFloat64)
+			}
+		})
+		if err == nil {
+			t.Fatalf("trial %d: injected fault did not surface", trial)
+		}
+		var dl *DeadlockError
+		if errors.As(err, &dl) {
+			t.Fatalf("trial %d: spurious deadlock from stale wait records:\n%v", trial, err)
+		}
+		var inj *InjectedFault
+		if !errors.As(err, &inj) {
+			t.Fatalf("trial %d: want *InjectedFault, got %v", trial, err)
+		}
+		var re *RankError
+		if !errors.As(err, &re) || re.Rank != 3 || re.Phase != "rounds" {
+			t.Fatalf("trial %d: want RankError{rank 3, rounds}, got %v", trial, err)
+		}
+	}
+}

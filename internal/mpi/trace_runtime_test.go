@@ -1,0 +1,99 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// traceTestBody mixes every traced operation class: point-to-point
+// sends and receives, collectives of several flavors, local charges,
+// and phase changes.
+func traceTestBody(c *Comm) {
+	c.SetPhase("ring")
+	for i := 0; i < 3; i++ {
+		c.Send((c.Rank()+1)%c.Size(), i, 16)
+		c.Recv((c.Rank() + c.Size() - 1) % c.Size())
+	}
+	c.SetPhase("reduce")
+	AllReduce(c, float64(c.Rank()), 8, SumFloat64)
+	AllGather(c, c.Rank(), 8)
+	c.ChargeComm(2, 128)
+	c.SetPhase("sync")
+	c.Barrier()
+}
+
+// TestTracingPreservesClocksBitIdentical is the acceptance requirement
+// that observability is free: attaching a Recorder must not move any
+// clock, byte count, or message count by even one bit.
+func TestTracingPreservesClocksBitIdentical(t *testing.T) {
+	ref := Run(8, DefaultModel(), traceTestBody)
+	m := DefaultModel()
+	m.Trace = trace.New()
+	got := Run(8, m, traceTestBody)
+	for r := range ref {
+		if ref[r] != got[r] {
+			t.Fatalf("rank %d stats diverged under tracing:\n  off: %+v\n  on:  %+v", r, ref[r], got[r])
+		}
+	}
+}
+
+// TestTracedRunSatisfiesInvariants: the events a healthy run records
+// must pass the runtime invariant checker, and the per-rank phase spans
+// must telescope exactly to each rank's final clock.
+func TestTracedRunSatisfiesInvariants(t *testing.T) {
+	m := DefaultModel()
+	rec := trace.New()
+	m.Trace = rec
+	stats := Run(8, m, traceTestBody)
+	if err := rec.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	b := rec.Breakdown()
+	if len(b.Ranks) != 8 {
+		t.Fatalf("breakdown covers %d ranks, want 8", len(b.Ranks))
+	}
+	for r, phases := range b.Ranks {
+		var sum float64
+		for _, p := range phases {
+			sum += p.Time
+		}
+		if diff := sum - stats[r].Time; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("rank %d: phase spans sum to %v, final clock %v", r, sum, stats[r].Time)
+		}
+	}
+	// The named phases all appear in the aggregate, in program order.
+	want := []string{"ring", "reduce", "sync"}
+	if len(b.Phases) != len(want) {
+		t.Fatalf("phases %+v, want %v", b.Phases, want)
+	}
+	for i, p := range b.Phases {
+		if p.Phase != want[i] {
+			t.Fatalf("phase %d is %q, want %q", i, p.Phase, want[i])
+		}
+	}
+	// Point-to-point traffic: 8 ranks * 3 ring messages of 16 bytes.
+	ring := b.Phases[0]
+	if ring.Msgs != 2*8*3 || ring.Bytes != 2*8*3*16 {
+		t.Fatalf("ring phase recorded %d msgs / %d bytes, want %d / %d",
+			ring.Msgs, ring.Bytes, 2*8*3, 2*8*3*16)
+	}
+	// Collectives: AllReduce + AllGather (+ the Barrier in "sync").
+	if b.Phases[1].Colls != 2*8 || b.Phases[2].Colls != 8 {
+		t.Fatalf("collective counts %d/%d, want 16/8", b.Phases[1].Colls, b.Phases[2].Colls)
+	}
+}
+
+// TestRecorderSingleUse: a Recorder documents one run; reusing it must
+// fail loudly instead of silently interleaving two worlds' events.
+func TestRecorderSingleUse(t *testing.T) {
+	m := DefaultModel()
+	m.Trace = trace.New()
+	Run(2, m, func(c *Comm) { c.Barrier() })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reusing a Recorder across runs did not panic")
+		}
+	}()
+	Run(2, m, func(c *Comm) { c.Barrier() })
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PhaseCost is the aggregated cost of one named phase: virtual time
+// split into computation, charged communication, and waiting, the
+// communication further split into the paper's Section 3.1 terms
+// (ts = latency, tw = bandwidth, to = per-peer posting overhead), and
+// the message/byte volume the phase pushed.
+type PhaseCost struct {
+	Phase string  `json:"phase"`
+	Time  float64 `json:"time_s"`
+	Comp  float64 `json:"comp_s"`
+	Comm  float64 `json:"comm_s"`
+	Wait  float64 `json:"wait_s"`
+	TS    float64 `json:"ts_s"`
+	TW    float64 `json:"tw_s"`
+	TO    float64 `json:"to_s"`
+	Bytes int64   `json:"bytes"`
+	Msgs  int64   `json:"msgs"`
+	Colls int64   `json:"colls"`
+}
+
+// Breakdown is the per-phase cost table of one run: Ranks holds each
+// rank's phases in first-use order; Phases aggregates across ranks
+// (times are the max over ranks — the modeled parallel time of the
+// phase — while bytes, messages, and collectives are summed).
+type Breakdown struct {
+	Ranks  [][]PhaseCost `json:"ranks,omitempty"`
+	Phases []PhaseCost   `json:"phases"`
+}
+
+// Breakdown folds the recorded events into per-rank and aggregate
+// phase costs. Phase spans tile each rank's timeline exactly — from
+// clock 0 to the final clock recorded at teardown — so the per-rank
+// Time columns sum to the rank's final virtual clock.
+func (r *Recorder) Breakdown() *Breakdown {
+	b := &Breakdown{}
+	for _, rt := range r.Ranks() {
+		b.Ranks = append(b.Ranks, rankPhases(rt))
+	}
+	order := []string{}
+	agg := map[string]*PhaseCost{}
+	for _, phases := range b.Ranks {
+		for _, pc := range phases {
+			a := agg[pc.Phase]
+			if a == nil {
+				a = &PhaseCost{Phase: pc.Phase}
+				agg[pc.Phase] = a
+				order = append(order, pc.Phase)
+			}
+			a.Time = maxf(a.Time, pc.Time)
+			a.Comp = maxf(a.Comp, pc.Comp)
+			a.Comm = maxf(a.Comm, pc.Comm)
+			a.Wait = maxf(a.Wait, pc.Wait)
+			a.TS = maxf(a.TS, pc.TS)
+			a.TW = maxf(a.TW, pc.TW)
+			a.TO = maxf(a.TO, pc.TO)
+			a.Bytes += pc.Bytes
+			a.Msgs += pc.Msgs
+			a.Colls += pc.Colls
+		}
+	}
+	for _, name := range order {
+		b.Phases = append(b.Phases, *agg[name])
+	}
+	return b
+}
+
+// rankPhases walks one rank's event log and accumulates a cost row per
+// phase span. A KindPhase event closes the current span at its clock
+// and opens the next; KindEnd closes the last span at the final clock.
+// Spans with the same name (phases revisited across levels) merge.
+func rankPhases(rt *RankTrace) []PhaseCost {
+	var out []PhaseCost
+	idx := map[string]int{}
+	row := func(name string) *PhaseCost {
+		i, ok := idx[name]
+		if !ok {
+			i = len(out)
+			idx[name] = i
+			out = append(out, PhaseCost{Phase: name})
+		}
+		return &out[i]
+	}
+	cur := ""
+	curStart := 0.0
+	closeSpan := func(at float64) {
+		dur := at - curStart
+		if dur == 0 {
+			if _, ok := idx[cur]; !ok {
+				return // zero-length span with no events: drop the row
+			}
+		}
+		row(cur).Time += dur
+	}
+	for _, ev := range rt.events {
+		switch ev.Kind {
+		case KindPhase:
+			closeSpan(ev.Start)
+			cur = ev.Op
+			curStart = ev.Start
+		case KindEnd:
+			closeSpan(ev.Start)
+			cur = ""
+			curStart = ev.Start
+		case KindFault:
+			// zero-duration marker; no cost to attribute
+		default:
+			pc := row(cur)
+			pc.Comm += ev.Comm
+			pc.Wait += (ev.End - ev.Start) - ev.Comm
+			pc.TS += ev.TS
+			pc.TW += ev.TW
+			pc.TO += ev.TO
+			pc.Bytes += ev.Bytes
+			switch ev.Kind {
+			case KindColl:
+				pc.Colls++
+			case KindSend, KindRecv:
+				pc.Msgs++
+			}
+		}
+	}
+	for i := range out {
+		out[i].Comp = out[i].Time - out[i].Comm - out[i].Wait
+	}
+	return out
+}
+
+// Table renders the aggregate breakdown as an aligned text table with a
+// footer mapping the columns to the paper's Section 3.1 cost terms.
+func (b *Breakdown) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %12s %12s %12s %12s %12s %12s %12s %14s %8s %8s\n",
+		"phase", "time_s", "comp_s", "comm_s", "wait_s", "ts_s", "tw_s", "to_s", "bytes", "msgs", "colls")
+	var tot PhaseCost
+	for _, pc := range b.Phases {
+		name := pc.Phase
+		if name == "" {
+			name = "(unphased)"
+		}
+		fmt.Fprintf(&sb, "%-14s %12.6f %12.6f %12.6f %12.6f %12.6f %12.6f %12.6f %14d %8d %8d\n",
+			name, pc.Time, pc.Comp, pc.Comm, pc.Wait, pc.TS, pc.TW, pc.TO, pc.Bytes, pc.Msgs, pc.Colls)
+		tot.Time += pc.Time
+		tot.Comp += pc.Comp
+		tot.Comm += pc.Comm
+		tot.Wait += pc.Wait
+		tot.TS += pc.TS
+		tot.TW += pc.TW
+		tot.TO += pc.TO
+		tot.Bytes += pc.Bytes
+		tot.Msgs += pc.Msgs
+		tot.Colls += pc.Colls
+	}
+	fmt.Fprintf(&sb, "%-14s %12.6f %12.6f %12.6f %12.6f %12.6f %12.6f %12.6f %14d %8d %8d\n",
+		"TOTAL", tot.Time, tot.Comp, tot.Comm, tot.Wait, tot.TS, tot.TW, tot.TO, tot.Bytes, tot.Msgs, tot.Colls)
+	sb.WriteString("# Section 3.1 cost terms: ts_s = startup latency, the ts(log P)^2 and\n")
+	sb.WriteString("# ts*log P terms; tw_s = bandwidth, the tw*P(log P)^2, tw*Ntilde*log P,\n")
+	sb.WriteString("# and tw*sqrt(N/P) terms; to_s = per-peer posting overhead (AllToAllV).\n")
+	sb.WriteString("# time_s is max over ranks per phase; bytes/msgs/colls are summed.\n")
+	return sb.String()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

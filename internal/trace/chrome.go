@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto). Timestamps are microseconds; we map one
+// virtual second to one million trace microseconds so the timeline axis
+// reads directly in virtual seconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const usPerVirtualSecond = 1e6
+
+// ChromeTrace writes the run as Chrome trace-event JSON: one thread per
+// rank, phase spans as complete ("X") events on the virtual-clock
+// timeline, and injected faults as instant ("i") events. Per-operation
+// detail intentionally stays out of the export — it lives in the
+// breakdown table and the invariant checker — so the file stays small
+// and stable enough for golden tests.
+func (r *Recorder) ChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	for _, rt := range r.Ranks() {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: rt.rank,
+			Args: map[string]any{"name": "rank " + itoa(rt.rank)},
+		})
+		cur := ""
+		curStart := 0.0
+		emit := func(end float64) {
+			if end == curStart && cur == "" {
+				return
+			}
+			name := cur
+			if name == "" {
+				name = "(unphased)"
+			}
+			dur := (end - curStart) * usPerVirtualSecond
+			events = append(events, chromeEvent{
+				Name: name, Ph: "X", TS: curStart * usPerVirtualSecond,
+				Dur: &dur, PID: 0, TID: rt.rank,
+			})
+		}
+		for _, ev := range rt.events {
+			switch ev.Kind {
+			case KindPhase:
+				emit(ev.Start)
+				cur = ev.Op
+				curStart = ev.Start
+			case KindEnd:
+				emit(ev.Start)
+				cur = ""
+				curStart = ev.Start
+			case KindFault:
+				events = append(events, chromeEvent{
+					Name: ev.Op, Ph: "i", TS: ev.Start * usPerVirtualSecond,
+					PID: 0, TID: rt.rank, S: "t",
+					Args: map[string]any{"event": ev.Gen},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]any{"traceEvents": events, "displayTimeUnit": "ms"})
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// maxViolations caps how many violations CheckInvariants reports before
+// truncating; a broken run would otherwise produce an unreadable wall.
+const maxViolations = 16
+
+// CheckInvariants validates the runtime invariants the cost model
+// depends on, from the recorded events of a completed (fault-free) run:
+//
+//   - clock monotonicity: per rank, event intervals never run backwards
+//     (End >= Start, and each event starts at or after the previous
+//     event's end);
+//   - byte symmetry: for every ordered rank pair, the bytes and message
+//     count sent a->b equal the bytes and messages b received from a;
+//   - collective participation: every collective rendezvous (same
+//     communicator size and generation) has exactly `size` participants
+//     all running the same operation.
+//
+// It returns nil when every invariant holds, or an error listing the
+// first violations found.
+func (r *Recorder) CheckInvariants() error {
+	var v []string
+	add := func(format string, args ...any) {
+		if len(v) < maxViolations {
+			v = append(v, fmt.Sprintf(format, args...))
+		}
+	}
+
+	type pair struct{ from, to int }
+	type volume struct {
+		bytes int64
+		msgs  int64
+	}
+	sent := map[pair]volume{}
+	recvd := map[pair]volume{}
+	type rendezvous struct {
+		size int
+		gen  int64
+	}
+	type collInfo struct {
+		op    string
+		count int
+	}
+	colls := map[rendezvous]*collInfo{}
+
+	for _, rt := range r.Ranks() {
+		prevEnd := 0.0
+		for i, ev := range rt.events {
+			if ev.End < ev.Start {
+				add("rank %d event %d (%s): interval runs backwards (start %.12g > end %.12g)",
+					rt.rank, i, ev.Op, ev.Start, ev.End)
+			}
+			if ev.Start < prevEnd {
+				add("rank %d event %d (%s): clock went backwards (start %.12g < previous end %.12g)",
+					rt.rank, i, ev.Op, ev.Start, prevEnd)
+			}
+			if ev.End > prevEnd {
+				prevEnd = ev.End
+			}
+			switch ev.Kind {
+			case KindSend:
+				vol := sent[pair{rt.rank, ev.Peer}]
+				vol.bytes += ev.Bytes
+				vol.msgs++
+				sent[pair{rt.rank, ev.Peer}] = vol
+			case KindRecv:
+				vol := recvd[pair{ev.Peer, rt.rank}]
+				vol.bytes += ev.Bytes
+				vol.msgs++
+				recvd[pair{ev.Peer, rt.rank}] = vol
+			case KindColl:
+				if ev.Size <= 1 {
+					break // single-rank collectives have no rendezvous
+				}
+				key := rendezvous{ev.Size, ev.Gen}
+				ci := colls[key]
+				if ci == nil {
+					ci = &collInfo{op: ev.Op}
+					colls[key] = ci
+				} else if ci.op != ev.Op {
+					add("collective rendezvous (size %d, gen %d): rank %d ran %s but another rank ran %s",
+						ev.Size, ev.Gen, rt.rank, ev.Op, ci.op)
+				}
+				ci.count++
+			}
+		}
+	}
+
+	pairs := map[pair]bool{}
+	for k := range sent {
+		pairs[k] = true
+	}
+	for k := range recvd {
+		pairs[k] = true
+	}
+	sorted := make([]pair, 0, len(pairs))
+	for k := range pairs {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].from != sorted[j].from {
+			return sorted[i].from < sorted[j].from
+		}
+		return sorted[i].to < sorted[j].to
+	})
+	for _, k := range sorted {
+		s, rv := sent[k], recvd[k]
+		if s != rv {
+			add("byte symmetry %d->%d: sent %d bytes in %d messages, received %d bytes in %d messages",
+				k.from, k.to, s.bytes, s.msgs, rv.bytes, rv.msgs)
+		}
+	}
+
+	keys := make([]rendezvous, 0, len(colls))
+	for k := range colls {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].size != keys[j].size {
+			return keys[i].size < keys[j].size
+		}
+		return keys[i].gen < keys[j].gen
+	})
+	for _, k := range keys {
+		if ci := colls[k]; ci.count != k.size {
+			add("collective %s (size %d, gen %d): %d of %d ranks participated",
+				ci.op, k.size, k.gen, ci.count, k.size)
+		}
+	}
+
+	if len(v) == 0 {
+		return nil
+	}
+	return errors.New("trace invariants violated:\n  " + strings.Join(v, "\n  "))
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// synthTrace builds a tiny two-rank trace by hand: rank 0 sends 100
+// bytes to rank 1 inside phase "a", both join a 2-rank collective in
+// phase "b", and the clocks telescope cleanly. The numbers are chosen
+// so every Breakdown column is easy to predict.
+func synthTrace() *Recorder {
+	r := New()
+	rs := r.Attach(2)
+
+	r0, r1 := rs[0], rs[1]
+	r0.PhaseChange("a", 0, 0, 0)
+	r0.Send("Send", 1, 100, 0, 0.25, 0.25)                    // comm 0.25 (all latency)
+	r0.PhaseChange("b", 1.0, 0.25, 100)                       // 0.75s of compute closes "a"
+	r0.Coll("AllReduce", 2, 0, 8, 0.1, 0.1, 0, 1.0, 1.5, 0.2) // 0.3s wait
+	r0.Finish(2.0, 0.45, 100)
+
+	r1.PhaseChange("a", 0, 0, 0)
+	r1.Recv("Recv", 0, 100, 0, 0.5, 0.5)
+	r1.PhaseChange("b", 0.5, 0.5, 0)
+	r1.Coll("AllReduce", 2, 0, 8, 0.1, 0.1, 0, 0.5, 1.5, 0.2)
+	r1.Finish(1.5, 0.7, 0)
+	return r
+}
+
+func TestBreakdownAggregates(t *testing.T) {
+	b := synthTrace().Breakdown()
+	if len(b.Phases) != 2 || b.Phases[0].Phase != "a" || b.Phases[1].Phase != "b" {
+		t.Fatalf("phases %+v, want [a b]", b.Phases)
+	}
+	a := b.Phases[0]
+	// Phase "a" lasts 1.0s on rank 0 and 0.5s on rank 1: time is the max.
+	if a.Time != 1.0 {
+		t.Fatalf("phase a time %v, want 1.0", a.Time)
+	}
+	// Comm is the max over ranks too: 0.5s (rank 1's Recv).
+	if a.Comm != 0.5 {
+		t.Fatalf("phase a comm %v, want 0.5", a.Comm)
+	}
+	// Bytes and messages sum over ranks: the send and the recv both count.
+	if a.Bytes != 200 || a.Msgs != 2 {
+		t.Fatalf("phase a bytes=%d msgs=%d, want 200/2", a.Bytes, a.Msgs)
+	}
+	bb := b.Phases[1]
+	if bb.Colls != 2 {
+		t.Fatalf("phase b colls %d, want 2", bb.Colls)
+	}
+	// Rank 1 waits 0.8s inside the collective (span 1.0s, comm 0.2s).
+	if got, want := bb.Wait, 0.8; got != want {
+		t.Fatalf("phase b wait %v, want %v", got, want)
+	}
+	if bb.TS != 0.1 || bb.TW != 0.1 {
+		t.Fatalf("phase b ts/tw %v/%v, want 0.1/0.1", bb.TS, bb.TW)
+	}
+	// Comp + Comm + Wait telescopes back to Time per rank (the aggregate
+	// takes each column's max independently, so it need not telescope).
+	for r, phases := range b.Ranks {
+		for _, p := range phases {
+			if diff := p.Time - (p.Comp + p.Comm + p.Wait); diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("rank %d phase %s: comp+comm+wait != time (%+v)", r, p.Phase, p)
+			}
+		}
+	}
+}
+
+func TestBreakdownRankSpansSumToFinalClock(t *testing.T) {
+	b := synthTrace().Breakdown()
+	want := []float64{2.0, 1.5}
+	for r, phases := range b.Ranks {
+		var sum float64
+		for _, p := range phases {
+			sum += p.Time
+		}
+		if sum != want[r] {
+			t.Fatalf("rank %d span sum %v, want final clock %v", r, sum, want[r])
+		}
+	}
+}
+
+func TestTableRendersColumnsAndCostTerms(t *testing.T) {
+	out := synthTrace().Breakdown().Table()
+	for _, want := range []string{
+		"phase", "time_s", "comp_s", "comm_s", "wait_s", "ts_s", "tw_s", "to_s",
+		"bytes", "msgs", "colls", "TOTAL", "Section 3.1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := synthTrace().ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev["name"].(string)] = true
+	}
+	for _, want := range []string{"thread_name", "a", "b"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q event, have %v", want, names)
+		}
+	}
+}
+
+func TestCheckInvariantsAcceptsCleanTrace(t *testing.T) {
+	if err := synthTrace().CheckInvariants(); err != nil {
+		t.Fatalf("clean trace rejected: %v", err)
+	}
+}
+
+func TestCheckInvariantsCatchesClockRegression(t *testing.T) {
+	r := New()
+	rt := r.Attach(1)[0]
+	rt.Charge("ChargeComm", 0, 0, 0, 1.0, 2.0)
+	rt.Charge("ChargeComm", 0, 0, 0, 1.5, 1.6) // starts before previous end
+	if err := r.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Fatalf("clock regression not caught: %v", err)
+	}
+}
+
+func TestCheckInvariantsCatchesByteAsymmetry(t *testing.T) {
+	r := New()
+	rs := r.Attach(2)
+	rs[0].Send("Send", 1, 100, 0, 0.1, 0.1)
+	rs[1].Recv("Recv", 0, 60, 0, 0.2, 0.2) // receiver saw fewer bytes
+	if err := r.CheckInvariants(); err == nil {
+		t.Fatal("byte asymmetry not caught")
+	}
+}
+
+func TestCheckInvariantsCatchesMissingCollParticipant(t *testing.T) {
+	r := New()
+	rs := r.Attach(3)
+	// Only two of three ranks join the size-3 generation-0 collective.
+	rs[0].Coll("Barrier", 3, 0, 0, 0, 0, 0, 0, 0.1, 0.1)
+	rs[1].Coll("Barrier", 3, 0, 0, 0, 0, 0, 0, 0.1, 0.1)
+	if err := r.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "participa") {
+		t.Fatalf("missing participant not caught: %v", err)
+	}
+}
+
+func TestAttachTwicePanics(t *testing.T) {
+	r := New()
+	r.Attach(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Attach did not panic")
+		}
+	}()
+	r.Attach(2)
+}
