@@ -24,11 +24,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|all")
+		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|chaos|all (chaos runs only by name)")
 		scale      = flag.Float64("scale", 1.0, "suite size scale (1 = default bench sizes)")
 		psFlag     = flag.String("ps", "", "comma-separated processor sweep (default 1,2,...,1024)")
 		workers    = flag.Int("workers", 0, "worker pool size for the sweep and the fork-join kernels (0 = one per core)")
 		phaseBreak = flag.Bool("phase-breakdown", false, "print the per-phase virtual-time and byte-volume breakdown of the ScalaPart sweep, then exit")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "base seed for the chaos experiment's fault schedules")
+		chaosRuns  = flag.Int("chaos-schedules", 3, "fault schedules per (graph, P, policy) in the chaos experiment")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -111,10 +113,23 @@ func main() {
 				h.AblationStripFM() + "\n" + h.AblationTries() + "\n" +
 				h.AblationLevelRetention() + "\n" + h.AblationSSDE()
 		}},
+		{"chaos", func() string {
+			// The chaos soak is survivability evidence, not a paper
+			// experiment: randomized fault schedules against both recovery
+			// policies, every outcome verified. It runs only when asked for
+			// by name, never under "all".
+			return h.ChaosSoak(bench.ChaosConfig{
+				Graphs:    []string{"ecology1", "ecology2", "delaunay_n20"},
+				Ps:        []int{4, 16},
+				Schedules: *chaosRuns,
+				Seed:      *chaosSeed,
+				Workers:   *workers,
+			}).String()
+		}},
 	}
 	ran := false
 	for _, e := range experiments {
-		if *experiment != "all" && *experiment != e.name {
+		if *experiment != e.name && (*experiment != "all" || e.name == "chaos") {
 			continue
 		}
 		ran = true

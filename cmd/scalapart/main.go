@@ -39,26 +39,37 @@ import (
 
 func main() {
 	var (
-		file      = flag.String("file", "", "METIS graph file to partition")
-		name      = flag.String("graph", "", "built-in suite graph name (see -list)")
-		scale     = flag.Float64("scale", 0.25, "size scale for built-in graphs")
-		method    = flag.String("method", "ScalaPart", "ScalaPart | ParMetis | Pt-Scotch | RCB | SP-PG7-NL | G30 | G7 | G7-NL")
-		p         = flag.Int("p", 16, "simulated processor count")
-		seed      = flag.Int64("seed", 42, "random seed")
-		out       = flag.String("out", "", "write per-vertex part ids to this file")
-		list      = flag.Bool("list", false, "list built-in graphs and exit")
-		fault     = flag.String("fault", "", "inject faults: comma-separated kill:R@E | drop:R@E | delay:R@E+SECS | trunc:R@E")
-		benchJSON  = flag.String("bench-json", "", "sweep ScalaPart over the suite and write perf-trajectory JSON to this file, then exit")
-		psFlag     = flag.String("ps", "", "processor sweep for -bench-json (default 1,2,...,1024)")
-		workers    = flag.Int("workers", 0, "host worker pool size for the fork-join coarsening kernels (0 = one per core)")
-		phaseBreak = flag.Bool("phase-breakdown", false, "print the per-phase virtual-time and byte-volume breakdown (Section 3.1 cost terms); with -bench-json, embed it per run")
-		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (timeline axis = virtual clock)")
-		checkInv   = flag.Bool("check-invariants", false, "validate runtime invariants (clock monotonicity, byte symmetry, collective participation) and partition invariants after the run")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		file        = flag.String("file", "", "METIS graph file to partition")
+		name        = flag.String("graph", "", "built-in suite graph name (see -list)")
+		scale       = flag.Float64("scale", 0.25, "size scale for built-in graphs")
+		method      = flag.String("method", "ScalaPart", "ScalaPart | ParMetis | Pt-Scotch | RCB | SP-PG7-NL | G30 | G7 | G7-NL")
+		p           = flag.Int("p", 16, "simulated processor count")
+		seed        = flag.Int64("seed", 42, "random seed")
+		out         = flag.String("out", "", "write per-vertex part ids to this file")
+		list        = flag.Bool("list", false, "list built-in graphs and exit")
+		fault       = flag.String("fault", "", "inject faults: comma-separated kill:R@E | drop:R@E | delay:R@E+SECS | trunc:R@E")
+		recoverFlag = flag.String("recover", "off", "rank-failure recovery policy for ScalaPart: off | respawn | shrink")
+		retryBudget = flag.Int("retry-budget", 0, "max retransmissions per message under -recover (0 = default budget)")
+		watchdog    = flag.Duration("watchdog", 0, "deadlock watchdog stall window (0 = built-in default)")
+		benchJSON   = flag.String("bench-json", "", "sweep ScalaPart over the suite and write perf-trajectory JSON to this file, then exit")
+		psFlag      = flag.String("ps", "", "processor sweep for -bench-json (default 1,2,...,1024)")
+		workers     = flag.Int("workers", 0, "host worker pool size for the fork-join coarsening kernels (0 = one per core)")
+		phaseBreak  = flag.Bool("phase-breakdown", false, "print the per-phase virtual-time and byte-volume breakdown (Section 3.1 cost terms); with -bench-json, embed it per run")
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (timeline axis = virtual clock)")
+		checkInv    = flag.Bool("check-invariants", false, "validate runtime invariants (clock monotonicity, byte symmetry, collective participation) and partition invariants after the run")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	hostpar.SetWorkers(*workers)
+	policy, err := core.ParseRecoveryPolicy(*recoverFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalapart:", err)
+		os.Exit(1)
+	}
+	if *watchdog > 0 {
+		mpi.SetWatchdogTimeout(*watchdog)
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -121,6 +132,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "scalapart: WARNING: -phase-breakdown/-trace need a simulated-runtime method; %s runs sequentially\n", *method)
 		}
 	}
+	if policy != core.RecoverOff && *method != "ScalaPart" {
+		fmt.Fprintf(os.Stderr, "scalapart: WARNING: -recover applies to the ScalaPart pipeline; %s runs without rollback recovery\n", *method)
+	}
 	g, coords, err := loadGraph(*file, *name, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalapart:", err)
@@ -156,6 +170,7 @@ func main() {
 	case "ScalaPart":
 		opt := core.DefaultOptions(*seed)
 		opt.Model = model
+		opt.Recover = core.RecoverOptions{Policy: policy, RetryBudget: *retryBudget}
 		res, runErr := core.PartitionChecked(g, *p, opt)
 		if runErr != nil {
 			res = retrySequential(runErr)
@@ -163,6 +178,13 @@ func main() {
 			fmt.Printf("phases: coarsen %.4fs  embed %.4fs  partition %.4fs (strip %d vertices)\n",
 				res.Times.Coarsen, res.Times.Embed, res.Times.Partition, res.StripSize)
 		}
+		if res.Recovery != nil {
+			fmt.Println(res.Recovery)
+			for _, r := range res.Recovery.Resumes {
+				fmt.Printf("  resumed: %s\n", r)
+			}
+		}
+		fallback = fallback || res.Fallback
 		part, cut, imb, timeS = res.Part, res.Cut, res.Imbalance, res.Times.Total
 	case "SP-PG7-NL":
 		res, runErr := core.PartitionGeometricChecked(g, coords, *p, geopart.DefaultParallelConfig(), model)

@@ -78,6 +78,11 @@ type Harness struct {
 	Out     io.Writer // progress log; nil silences
 	Workers int       // Precompute pool size; 0 = one per available core
 	Trace   bool      // record per-run traces and fill Run.Breakdown
+	// Recover configures rollback recovery for ScalaPart runs (policy
+	// off keeps the historical fail-then-fallback behaviour). It is part
+	// of the cache fingerprint, so recovered and plain sweeps never
+	// share entries.
+	Recover core.RecoverOptions
 
 	logMu   sync.Mutex
 	graphs  cache[string, *gen.Generated]
@@ -172,9 +177,11 @@ func (h *Harness) Get(graphName, method string, p int) *Run {
 // Breakdown field). Two Gets with different fingerprints compute
 // independent runs instead of sharing a stale cache entry.
 func (h *Harness) envKey() string {
-	return fmt.Sprintf("w%d|batch%t|pbuild%t|pool%t|trace%t|faults:%s",
+	return fmt.Sprintf("w%d|batch%t|pbuild%t|pool%t|trace%t|recover:%s:%d:%d:%d|faults:%s",
 		hostpar.Workers(), geopart.Batching(), graph.ParallelBuild(),
-		mpi.PoolingEnabled(), h.Trace, h.Model.Faults.Key())
+		mpi.PoolingEnabled(), h.Trace,
+		h.Recover.Policy, h.Recover.RetryBudget, h.Recover.MaxRespawns, h.Recover.MaxShrinks,
+		h.Model.Faults.Key())
 }
 
 // ParallelMethods lists the methods whose runs execute on the simulated
@@ -259,6 +266,7 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 	case MethodSP:
 		opt := core.DefaultOptions(seed)
 		opt.Model = h.Model
+		opt.Recover = h.Recover
 		var rec *trace.Recorder
 		if h.Trace {
 			rec = trace.New()
@@ -268,6 +276,7 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 		if err != nil {
 			return h.fallbackRun(run, g, seed, err)
 		}
+		run.Fallback = res.Fallback
 		run.Cut, run.Imbalance = res.Cut, res.Imbalance
 		run.Time, run.CommTime = res.Times.Total, res.Times.TotalComm
 		run.Times = res.Times

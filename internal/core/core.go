@@ -35,6 +35,11 @@ type Options struct {
 	// matching resolves match conflicts over several rounds). Default 4.
 	CoarsenRounds int
 	Seed          int64
+	// Recover configures rollback recovery: with a non-off policy, rank
+	// failures roll back to level checkpoints and the run continues
+	// (respawned or shrunken) instead of aborting. The zero value keeps
+	// the historical abort-on-failure behaviour. See RecoverOptions.
+	Recover RecoverOptions
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
@@ -70,6 +75,9 @@ type Result struct {
 	Times     PhaseTimes
 	Stats     []mpi.RankStats
 	Fallback  bool // true when the result comes from SequentialFallback
+	// Recovery summarises what the recovery driver did; nil when
+	// recovery was off. Attempts == 1 means the first world succeeded.
+	Recovery *RecoveryStats
 }
 
 // Partition runs ScalaPart on p simulated ranks and returns the global
@@ -100,57 +108,15 @@ func PartitionChecked(g *graph.Graph, p int, opt Options) (*Result, error) {
 	if opt.CoarsenRounds == 0 {
 		opt.CoarsenRounds = 4
 	}
+	if opt.Recover.Policy != RecoverOff {
+		return partitionRecover(g, p, opt)
+	}
 	h := coarsen.BuildHierarchy(g, p, opt.Coarsen)
 	boundary := coarsen.BoundaryEdges(h)
-
-	part := make([]int32, g.NumVertices())
-	times := make([]PhaseTimes, p)
-	var cut, cutBefore int64
-	var imb float64
-	var strip int
-	stats, err := mpi.RunChecked(p, opt.Model, func(c *mpi.Comm) {
-		t := &times[c.Rank()]
-		c.SetPhase("coarsen")
-		ph := c.StartPhase()
-		coarsen.ChargeCosts(c, h, boundary, opt.CoarsenRounds, 2)
-		t.Coarsen, t.CoarsenComm = ph.Stop()
-
-		c.SetPhase("embed")
-		ph = c.StartPhase()
-		d := embed.ParallelEmbed(c, h, opt.Embed)
-		t.Embed, t.EmbedComm = ph.Stop()
-
-		c.SetPhase("partition")
-		ph = c.StartPhase()
-		res := geopart.ParallelPartition(c, g, d, opt.Partition)
-		t.Partition, t.PartitionComm = ph.Stop()
-		t.Total = c.Elapsed()
-		t.TotalComm = c.CommElapsed()
-
-		// Assemble the global partition outside the timed region; each
-		// rank owns a disjoint vertex set, so the writes are race-free.
-		for i, id := range res.OwnedIDs {
-			part[id] = res.Side[i]
-		}
-		if c.Rank() == 0 {
-			cut, cutBefore = res.Cut, res.CutBefore
-			imb = res.Imbalance
-			strip = res.StripSize
-		}
+	res, _, err := runAttempt(g, opt, attemptConfig{
+		p: p, start: stageStart, model: opt.Model, h: h, boundary: boundary,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Part:      part,
-		Cut:       cut,
-		CutBefore: cutBefore,
-		Imbalance: imb,
-		StripSize: strip,
-		P:         p,
-		Times:     maxTimes(times),
-		Stats:     stats,
-	}, nil
+	return res, err
 }
 
 // SequentialFallback partitions g with the single-rank ParMetis-like

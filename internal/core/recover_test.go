@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// phaseClass reports whether a phase label belongs to a driver-level
+// phase class ("coarsen", "embed", or "partition"; inner algorithm
+// phases like "embed/L2" or "geopart" count toward their class).
+func phaseClass(phase, class string) bool {
+	switch class {
+	case "partition":
+		return phase == "partition" || phase == "geopart" || phase == "refine"
+	default:
+		return strings.HasPrefix(phase, class)
+	}
+}
+
+// killEventFor sweeps kill positions until one fires inside the wanted
+// phase class. Determinism makes the discovered position stable for a
+// fixed (graph, seed, P).
+func killEventFor(t *testing.T, g *graph.Graph, opt Options, p, rank int, class string) int64 {
+	t.Helper()
+	matches := func(phase string) bool { return phaseClass(phase, class) }
+	for e := int64(0); e < 5000; e += 7 {
+		o := opt
+		o.Model.Faults = mpi.NewFaultPlan().Kill(rank, e)
+		_, err := PartitionChecked(g, p, o)
+		if err == nil {
+			break // past the end of the program: no event left to kill at
+		}
+		var re *mpi.RankError
+		if errors.As(err, &re) && re.Rank == rank && matches(re.Phase) {
+			return e
+		}
+	}
+	t.Fatalf("no kill position found inside phase class %q", class)
+	return -1
+}
+
+// sendEventFor replays a traced fault-free run and returns the
+// communication-event position of rank's first point-to-point Send
+// inside the wanted phase class — the positions DropMessage and
+// DelayMessage faults act on.
+func sendEventFor(t *testing.T, g *graph.Graph, opt Options, p, rank int, class string) int64 {
+	t.Helper()
+	rec := trace.New()
+	o := opt
+	o.Model.Trace = rec
+	if _, err := PartitionChecked(g, p, o); err != nil {
+		t.Fatal(err)
+	}
+	phase := ""
+	var ev int64
+	for _, e := range rec.Ranks()[rank].Events() {
+		switch e.Kind {
+		case trace.KindPhase:
+			phase = e.Op
+		case trace.KindSend:
+			if phaseClass(phase, class) {
+				return ev
+			}
+			ev++
+		case trace.KindRecv, trace.KindColl:
+			ev++
+		}
+	}
+	t.Fatalf("rank %d performs no Send inside phase class %q", rank, class)
+	return -1
+}
+
+// TestRecoveryZeroFaultsBitIdentical: enabling recovery without any
+// fault firing must not move a single modeled number — the reliability
+// layer's sequence tracking and the driver's checkpointing are pure
+// bookkeeping.
+func TestRecoveryZeroFaultsBitIdentical(t *testing.T) {
+	g := gen.Grid2D(32, 32)
+	for _, p := range []int{1, 4, 16, 64} {
+		base, err := PartitionChecked(g.G, p, DefaultOptions(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions(3)
+		opt.Recover = RecoverOptions{Policy: RecoverRespawn}
+		rec, err := PartitionChecked(g.G, p, opt)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if rec.Cut != base.Cut || rec.CutBefore != base.CutBefore || rec.Imbalance != base.Imbalance {
+			t.Fatalf("P=%d: recovery-enabled quality moved: cut %d vs %d", p, rec.Cut, base.Cut)
+		}
+		if rec.Times != base.Times {
+			t.Fatalf("P=%d: recovery-enabled clocks moved:\nbase: %+v\nrec:  %+v", p, base.Times, rec.Times)
+		}
+		for r := range base.Stats {
+			if rec.Stats[r] != base.Stats[r] {
+				t.Fatalf("P=%d rank %d: stats moved: %+v vs %+v", p, r, rec.Stats[r], base.Stats[r])
+			}
+		}
+		for v := range base.Part {
+			if rec.Part[v] != base.Part[v] {
+				t.Fatalf("P=%d: side of vertex %d moved", p, v)
+			}
+		}
+		if rec.Recovery == nil || rec.Recovery.Attempts != 1 || rec.Recovery.FinalP != p {
+			t.Fatalf("P=%d: unexpected recovery stats %+v", p, rec.Recovery)
+		}
+	}
+}
+
+// TestRespawnRecoversKillInEveryPhase: a rank killed during coarsening,
+// embedding, or partitioning is respawned from the newest complete
+// checkpoint and the run finishes with the exact fault-free cut.
+func TestRespawnRecoversKillInEveryPhase(t *testing.T) {
+	g := gen.Grid2D(32, 32)
+	const p = 4
+	base, err := PartitionChecked(g.G, p, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []string{"coarsen", "embed", "partition"} {
+		ev := killEventFor(t, g.G, DefaultOptions(3), p, 1, class)
+		opt := DefaultOptions(3)
+		opt.Model.Faults = mpi.NewFaultPlan().Kill(1, ev)
+		opt.Recover = RecoverOptions{Policy: RecoverRespawn}
+		res, err := PartitionChecked(g.G, p, opt)
+		if err != nil {
+			t.Fatalf("kill in %s (event %d) not recovered: %v", class, ev, err)
+		}
+		if res.Fallback {
+			t.Fatalf("kill in %s: respawn fell back to sequential", class)
+		}
+		if res.Recovery == nil || res.Recovery.Respawns < 1 || res.Recovery.FinalP != p {
+			t.Fatalf("kill in %s: unexpected recovery stats %+v", class, res.Recovery)
+		}
+		if res.Cut != base.Cut {
+			t.Fatalf("kill in %s: respawned cut %d != fault-free cut %d", class, res.Cut, base.Cut)
+		}
+		for v := range base.Part {
+			if res.Part[v] != base.Part[v] {
+				t.Fatalf("kill in %s: respawned side of vertex %d differs", class, v)
+			}
+		}
+		if err := CheckResult(g.G, res); err != nil {
+			t.Fatalf("kill in %s: %v", class, err)
+		}
+	}
+}
+
+// TestShrinkRecoversKill: under the shrink policy a killed rank is
+// dropped, its vertices are redistributed, and the P−1 world delivers a
+// valid balanced partition.
+func TestShrinkRecoversKill(t *testing.T) {
+	g := gen.Grid2D(32, 32)
+	const p = 4
+	for _, class := range []string{"coarsen", "partition"} {
+		ev := killEventFor(t, g.G, DefaultOptions(3), p, 2, class)
+		opt := DefaultOptions(3)
+		opt.Model.Faults = mpi.NewFaultPlan().Kill(2, ev)
+		opt.Recover = RecoverOptions{Policy: RecoverShrink}
+		res, err := PartitionChecked(g.G, p, opt)
+		if err != nil {
+			t.Fatalf("kill in %s (event %d) not recovered by shrink: %v", class, ev, err)
+		}
+		if res.Fallback {
+			t.Fatalf("kill in %s: shrink fell back to sequential", class)
+		}
+		if res.Recovery == nil || res.Recovery.Shrinks != 1 || res.Recovery.FinalP != p-1 || res.P != p-1 {
+			t.Fatalf("kill in %s: unexpected recovery stats %+v (P=%d)", class, res.Recovery, res.P)
+		}
+		if err := CheckResult(g.G, res); err != nil {
+			t.Fatalf("kill in %s: shrunken partition invalid: %v", class, err)
+		}
+		if res.Imbalance > 0.1 {
+			t.Fatalf("kill in %s: shrunken imbalance %v exceeds the balance constraint", class, res.Imbalance)
+		}
+	}
+}
+
+// TestRetryExhaustionEscalatesToRespawn: a drop repeated past the retry
+// budget is a rank failure, and the respawn path heals it with an
+// identical cut — the drop self-disarms because its position fired.
+func TestRetryExhaustionEscalatesToRespawn(t *testing.T) {
+	g := gen.Grid2D(32, 32)
+	const p = 4
+	base, err := PartitionChecked(g.G, p, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point-to-point sends only happen in the embed phase (coarsen and
+	// partition communicate through collectives), so that is where drop
+	// faults can bite.
+	ev := sendEventFor(t, g.G, DefaultOptions(3), p, 1, "embed")
+	opt := DefaultOptions(3)
+	// Repeat 10 > budget 3: the link is declared dead mid-embed.
+	opt.Model.Faults = mpi.NewFaultPlan().DropN(1, ev, 10)
+	opt.Recover = RecoverOptions{Policy: RecoverRespawn}
+	res, err := PartitionChecked(g.G, p, opt)
+	if err != nil {
+		t.Fatalf("exhausted retry budget not recovered: %v", err)
+	}
+	if res.Recovery == nil || res.Recovery.Respawns < 1 || res.Recovery.Disarmed < 1 {
+		t.Fatalf("unexpected recovery stats %+v", res.Recovery)
+	}
+	if res.Cut != base.Cut {
+		t.Fatalf("respawned cut %d != fault-free cut %d", res.Cut, base.Cut)
+	}
+	if err := CheckResult(g.G, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealedDropNeedsNoDriver: a drop within the retry budget is healed
+// entirely inside the runtime — one attempt, same cut, slower clock.
+func TestHealedDropNeedsNoDriver(t *testing.T) {
+	g := gen.Grid2D(32, 32)
+	const p = 4
+	base, err := PartitionChecked(g.G, p, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := sendEventFor(t, g.G, DefaultOptions(3), p, 1, "embed")
+	opt := DefaultOptions(3)
+	opt.Model.Faults = mpi.NewFaultPlan().Drop(1, ev)
+	opt.Recover = RecoverOptions{Policy: RecoverRespawn}
+	res, err := PartitionChecked(g.G, p, opt)
+	if err != nil {
+		t.Fatalf("in-budget drop not healed: %v", err)
+	}
+	if res.Recovery.Attempts != 1 || res.Recovery.Respawns != 0 {
+		t.Fatalf("healing should not involve the driver: %+v", res.Recovery)
+	}
+	if res.Cut != base.Cut {
+		t.Fatalf("healed cut %d != fault-free cut %d", res.Cut, base.Cut)
+	}
+	if res.Times.Total <= base.Times.Total {
+		t.Fatalf("healed run total %.12g not slower than fault-free %.12g (backoff not charged?)",
+			res.Times.Total, base.Times.Total)
+	}
+}
+
+// TestRecoveryExhaustionFallsBack: when kills outnumber the respawn and
+// shrink budgets, the driver reaches the sequential baseline — and only
+// then.
+func TestRecoveryExhaustionFallsBack(t *testing.T) {
+	g := gen.Grid2D(32, 32)
+	const p = 4
+	opt := DefaultOptions(3)
+	// One rank death per attempt, at well-separated positions so each
+	// armed fault survives the previous attempt's disarming: rank 1 dies
+	// in attempt 1, again in the respawned attempt 2, and (renumbered
+	// from rank 2 by the shrink) the P−1 world dies in attempt 3 —
+	// overwhelming a budget of one respawn and one shrink.
+	opt.Model.Faults = mpi.NewFaultPlan().Kill(1, 2).Kill(1, 8).Kill(2, 60)
+	opt.Recover = RecoverOptions{Policy: RecoverRespawn, MaxRespawns: 1, MaxShrinks: 1}
+	res, err := PartitionChecked(g.G, p, opt)
+	if err != nil {
+		t.Fatalf("exhausted recovery must still deliver via fallback: %v", err)
+	}
+	if !res.Fallback {
+		t.Fatal("recovery against an overwhelming schedule did not reach the fallback")
+	}
+	if res.Recovery == nil || res.Recovery.Respawns != 1 || res.Recovery.Shrinks != 1 {
+		t.Fatalf("fallback reached without exhausting both policies: %+v", res.Recovery)
+	}
+	if err := CheckResult(g.G, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryStatsString smoke-checks the human-readable summaries.
+func TestRecoveryStatsString(t *testing.T) {
+	if got := (*RecoveryStats)(nil).String(); got != "recovery: off" {
+		t.Fatalf("nil stats: %q", got)
+	}
+	s := &RecoveryStats{Attempts: 2, Respawns: 1, FinalP: 4}
+	if !strings.Contains(s.String(), "1 respawn") || !strings.Contains(s.String(), "P=4") {
+		t.Fatalf("stats summary %q", s.String())
+	}
+	for _, tc := range []struct {
+		in   string
+		want RecoveryPolicy
+		ok   bool
+	}{
+		{"off", RecoverOff, true}, {"", RecoverOff, true},
+		{"respawn", RecoverRespawn, true}, {"SHRINK", RecoverShrink, true},
+		{"bogus", RecoverOff, false},
+	} {
+		got, err := ParseRecoveryPolicy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseRecoveryPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.ok && got.String() != strings.ToLower(tc.in) && tc.in != "" {
+			t.Fatalf("round trip %q -> %v", tc.in, got)
+		}
+	}
+}

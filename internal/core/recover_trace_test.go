@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// recoveryTracedRun partitions the deterministic grid at P=4 under a
+// schedule with one respawn recovery and one healed drop, recording the
+// final (surviving) attempt. Rank 1 is killed during coarsening; the
+// respawned world replays from scratch and on the way heals a dropped
+// embed-phase message from the same rank. Both faults sit on rank 1, so
+// the disarm decision depends only on rank 1's deterministic teardown
+// counter and the resulting trace is bit-stable.
+func recoveryTracedRun(t *testing.T) (*Result, *trace.Recorder) {
+	t.Helper()
+	g := gen.Grid2D(32, 32)
+	const p = 4
+	killEv := killEventFor(t, g.G, DefaultOptions(3), p, 1, "coarsen")
+	dropEv := sendEventFor(t, g.G, DefaultOptions(3), p, 1, "embed")
+	if killEv >= dropEv {
+		t.Fatalf("schedule inverted: kill at %d must precede the embed send at %d", killEv, dropEv)
+	}
+	opt := DefaultOptions(3)
+	rec := trace.New()
+	opt.Model.Trace = rec
+	// The respawned world re-enters through the recover rejoin barrier —
+	// one extra communication event — so a fault aimed at the replayed
+	// embed send sits one position past its fault-free location. Rank 1
+	// dies at killEv in the first world and never gets near the embed
+	// phase there, so the drop deterministically survives to the replay.
+	opt.Model.Faults = mpi.NewFaultPlan().Kill(1, killEv).Drop(1, dropEv+1)
+	opt.Recover = RecoverOptions{Policy: RecoverRespawn}
+	res, err := PartitionChecked(g.G, 4, opt)
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if res.Recovery == nil || res.Recovery.Respawns != 1 || res.Recovery.Disarmed < 1 {
+		t.Fatalf("schedule did not exercise one respawn: %+v", res.Recovery)
+	}
+	return res, rec
+}
+
+// TestGoldenRecoveryTrace pins the rendered breakdown and Chrome trace
+// of a recovered run: one rank killed mid-coarsen (respawn recovery)
+// and one dropped message healed by retransmission in the respawned
+// world. The surviving attempt's trace must show the recover rejoin
+// phase and exactly one retry burst, and its bytes must never drift.
+func TestGoldenRecoveryTrace(t *testing.T) {
+	res, rec := recoveryTracedRun(t)
+
+	base, err := PartitionChecked(gen.Grid2D(32, 32).G, 4, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != base.Cut {
+		t.Fatalf("recovered cut %d != fault-free cut %d", res.Cut, base.Cut)
+	}
+
+	retries := 0
+	for _, ev := range rec.Ranks()[1].Events() {
+		if ev.Kind == trace.KindRetry {
+			retries++
+		}
+	}
+	if retries != 1 {
+		t.Fatalf("final attempt's trace has %d retry bursts at rank 1, want exactly 1", retries)
+	}
+	if err := rec.CheckInvariants(); err != nil {
+		t.Fatalf("recovered trace violates invariants: %v", err)
+	}
+
+	checkGolden(t, "breakdown_recovery_p4.txt", []byte(rec.Breakdown().Table()))
+	var buf bytes.Buffer
+	if err := rec.ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_recovery_p4.json", buf.Bytes())
+}
+
+// TestRecoveryPhaseSpansTelescope: even on a recovered run — rejoin
+// barrier, replayed phases, healed retransmission — every rank's phase
+// spans must still sum to its final clock within 1e-9.
+func TestRecoveryPhaseSpansTelescope(t *testing.T) {
+	res, rec := recoveryTracedRun(t)
+	b := rec.Breakdown()
+	if len(b.Ranks) != 4 {
+		t.Fatalf("breakdown covers %d ranks, want 4", len(b.Ranks))
+	}
+	for r, phases := range b.Ranks {
+		var sum float64
+		seenRecover := false
+		for _, ph := range phases {
+			sum += ph.Time
+			if ph.Phase == "recover" {
+				seenRecover = true
+			}
+		}
+		if !seenRecover {
+			t.Fatalf("rank %d: surviving attempt's trace has no recover rejoin span: %+v", r, phases)
+		}
+		if diff := sum - res.Stats[r].Time; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("rank %d: phase spans sum to %.12g, final clock %.12g", r, sum, res.Stats[r].Time)
+		}
+	}
+}

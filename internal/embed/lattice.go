@@ -477,7 +477,7 @@ func (s *levelState) pushGhosts() {
 			// range and must not strand the pooled transport buffer.
 			n := len(b.Data)
 			b.Release()
-			panic(fmt.Errorf("embed: ghost refresh from rank %d carried %d coordinates, want %d (truncated payload?)", r, n, len(slots)))
+			panic(fmt.Errorf("embed: ghost refresh from rank %d carried %d coordinates, want %d at comm event %d (truncated payload?)", r, n, len(slots), s.comm.Events()-1))
 		}
 		s.applyGhostUpdate(slots, b.Data)
 		b.Release()
@@ -533,7 +533,7 @@ func (s *levelState) exchangeNeighborhood() {
 		if want := 3*nc + 2*len(s.recvFrom[r]); len(d) != want {
 			// NeighborExchange releases the transport buffer under
 			// defer, so rejecting a truncated payload here cannot leak.
-			panic(fmt.Errorf("embed: neighbour payload from rank %d carried %d values, want %d (truncated payload?)", r, len(d), want))
+			panic(fmt.Errorf("embed: neighbour payload from rank %d carried %d values, want %d at comm event %d (truncated payload?)", r, len(d), want, s.comm.Events()-1))
 		}
 		for j := range s.recvCells {
 			s.recvCells[j] = beta{

@@ -66,6 +66,14 @@ type Model struct {
 	// Faults optionally injects deterministic failures into the run;
 	// nil (the default) runs fault-free. See FaultPlan.
 	Faults *FaultPlan
+	// Reliable optionally enables the self-healing messaging layer:
+	// point-to-point sends carry per-link sequence numbers and dropped
+	// or badly delayed messages are healed by deterministic
+	// retransmission with bounded exponential backoff instead of
+	// deadlocking into the watchdog. See Reliability. With zero faults
+	// firing the layer never touches clocks, so results stay
+	// bit-identical to an unreliable run.
+	Reliable *Reliability
 	// Trace optionally records structured per-rank events (sends,
 	// receives, collectives with their ts/tw/to cost split, phase
 	// spans, faults) into the given recorder. Tracing is passive: it
@@ -95,6 +103,7 @@ type RankStats struct {
 	CommTime  float64 // portion of Time spent in (or waiting on) communication
 	BytesSent int64   // payload bytes this rank sent point-to-point
 	Messages  int64   // point-to-point messages this rank sent
+	Events    int64   // communication events started (fault-plan positions passed)
 }
 
 // MaxTime returns the largest virtual clock across ranks — the modeled
@@ -122,9 +131,10 @@ func MaxCommTime(stats []RankStats) float64 {
 
 type message struct {
 	src     int
+	seq     int64 // per-link sequence number (-1 when Model.Reliable is nil)
 	data    any
 	arrival float64 // virtual time at which the payload is available
-	cost    float64 // modeled transfer cost (Latency + PerByte·bytes)
+	cost    float64 // modeled transfer cost (Latency + PerByte·bytes, plus healed backoff)
 	bytes   int64   // modeled payload size (trace/invariant bookkeeping)
 }
 
@@ -145,6 +155,13 @@ type rankState struct {
 	events int64  // communication events so far (fault-plan positions)
 	phase  string // set via Comm.SetPhase; read only by the owning goroutine
 	wait   atomic.Pointer[waitInfo]
+
+	// Per-link sequence counters of the reliability layer, allocated only
+	// when Model.Reliable is set: seqTo[r] numbers the next send to rank
+	// r, seqFrom[r] the next expected receive from rank r. Pure
+	// bookkeeping — never charged to clocks.
+	seqTo   []int64
+	seqFrom []int64
 
 	tr *trace.RankTrace // nil unless Model.Trace is set; owning goroutine only
 }
@@ -241,6 +258,10 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 			inbox:   make(chan message, capacity),
 			pending: make(map[int][]message),
 		}
+		if model.Reliable != nil {
+			w.ranks[i].seqTo = make([]int64, p)
+			w.ranks[i].seqFrom = make([]int64, p)
+		}
 		if traces != nil {
 			w.ranks[i].tr = traces[i]
 		}
@@ -275,7 +296,7 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 	}
 	window := model.Watchdog
 	if window == 0 {
-		window = DefaultWatchdogWindow
+		window = WatchdogTimeout()
 	}
 	var stopWatchdog chan struct{}
 	if window > 0 {
@@ -313,6 +334,7 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 			CommTime:  st.commTime,
 			BytesSent: st.bytesSent,
 			Messages:  st.messages,
+			Events:    st.events,
 		}
 	}
 	if err := w.abortErr.Load(); err != nil {
@@ -379,6 +401,55 @@ func (c *Comm) Elapsed() float64 { return c.state.clock }
 
 // CommElapsed returns the communication portion of the virtual clock.
 func (c *Comm) CommElapsed() float64 { return c.state.commTime }
+
+// RankSnapshot is a restorable capture of one rank's runtime counters —
+// virtual clock, communication time, traffic totals, and the
+// communication-event cursor that fault plans address. Together with
+// the algorithm-level state a driver checkpoints alongside it (coarse
+// graph handle, embedding coordinates, RNG seeds are part of Options),
+// it is everything needed to re-enter the pipeline at a level boundary.
+type RankSnapshot struct {
+	Clock     float64
+	CommTime  float64
+	BytesSent int64
+	Messages  int64
+	Events    int64
+}
+
+// Snapshot captures this rank's runtime counters at a consistency point
+// (a level or phase boundary, after a synchronising collective).
+func (c *Comm) Snapshot() RankSnapshot {
+	st := c.state
+	return RankSnapshot{
+		Clock:     st.clock,
+		CommTime:  st.commTime,
+		BytesSent: st.bytesSent,
+		Messages:  st.messages,
+		Events:    st.events,
+	}
+}
+
+// Restore rewinds this rank's runtime counters to a snapshot taken in a
+// previous (failed) world, the rollback half of checkpoint/restart
+// recovery. It must be called before the rank's first communication in
+// the new world. When tracing, the jump from clock 0 to the snapshot
+// clock is recorded as a "restore" phase span plus a restore marker, so
+// breakdown phase spans still tile the timeline exactly.
+func (c *Comm) Restore(s RankSnapshot) {
+	st := c.state
+	if st.tr != nil {
+		st.tr.PhaseChange("restore", st.clock, st.commTime, st.bytesSent)
+	}
+	st.clock = s.Clock
+	st.commTime = s.CommTime
+	st.bytesSent = s.BytesSent
+	st.messages = s.Messages
+	st.events = s.Events
+	st.phase = "restore"
+	if st.tr != nil {
+		st.tr.RestoreMark(s.Clock, s.Events)
+	}
+}
 
 // SetPhase labels the algorithm phase this rank is in ("coarsen",
 // "embed", "partition", ...). The label is attached to RankErrors and
@@ -484,7 +555,49 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 	}
 	f := c.commEvent(op)
 	m := c.world.model
-	cost := m.Latency + m.PerByte*float64(bytes)
+	// Self-healing: with a reliability layer attached, wire faults on
+	// this message are healed at the send site. The retransmission
+	// protocol is not simulated turn by turn — its deterministic outcome
+	// is: the receiver sees the payload arrive after the summed backoff
+	// timeouts, and the sender is charged one extra Latency per
+	// retransmission below (traced as a retry event).
+	retries := 0
+	backoff := 0.0
+	if f != nil && m.Reliable != nil {
+		switch f.Kind {
+		case DropMessage:
+			drops := f.Repeat
+			if drops < 1 {
+				drops = 1
+			}
+			if budget := m.Reliable.budget(); drops > budget {
+				// Every retransmission within budget was dropped too: the
+				// link is dead. Escalate to a rank failure so recovery
+				// policies (respawn/shrink) can take over.
+				releasePayload(data)
+				panic(&RetryBudgetError{Rank: c.rank, To: to, Event: c.state.events - 1, Drops: drops, Budget: budget})
+			}
+			backoff = backoffTotal(m.Reliable.ackTimeout(m, bytes), drops)
+			retries = drops
+			f = nil
+		case DelayMessage:
+			if timeout := m.Reliable.ackTimeout(m, bytes); f.Delay > timeout {
+				// The delayed copy misses the ack window: the sender times
+				// out once and retransmits, and the fresh copy overtakes
+				// the late original.
+				backoff = timeout
+				retries = 1
+				f = nil
+			}
+		case TruncatePayload:
+			// The payload checksum rejects the corrupted copy; the sender
+			// times out once and retransmits intact.
+			backoff = m.Reliable.ackTimeout(m, bytes)
+			retries = 1
+			f = nil
+		}
+	}
+	cost := m.Latency + m.PerByte*float64(bytes) + backoff
 	arrival := c.state.clock + cost
 	deliver := true
 	if f != nil {
@@ -498,8 +611,13 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 			data = truncatePayload(data)
 		}
 	}
+	seq := int64(-1)
+	if c.state.seqTo != nil {
+		seq = c.state.seqTo[to]
+		c.state.seqTo[to]++
+	}
 	if deliver {
-		msg := message{src: c.rank, data: data, arrival: arrival, cost: cost, bytes: int64(bytes)}
+		msg := message{src: c.rank, seq: seq, data: data, arrival: arrival, cost: cost, bytes: int64(bytes)}
 		select {
 		case c.world.ranks[to].inbox <- msg:
 			// Fast path: the inbox had room, nothing blocked, so no
@@ -531,6 +649,18 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 	c.state.messages++
 	if c.state.tr != nil {
 		c.state.tr.Send(op, to, int64(bytes), t0, c.state.clock, m.Latency)
+	}
+	if retries > 0 {
+		// Each healed retransmission charges the sender one more send
+		// overhead (Latency); the backoff itself is the receiver's wait
+		// and is already folded into the message's arrival and cost.
+		extra := float64(retries) * m.Latency
+		rt0 := c.state.clock
+		c.state.clock += extra
+		c.state.commTime += extra
+		if c.state.tr != nil {
+			c.state.tr.Retry(op, to, retries, int64(bytes), rt0, c.state.clock)
+		}
 	}
 }
 
@@ -580,6 +710,16 @@ func (c *Comm) recvOp(from int, op string) any {
 			}
 		}
 		c.endWait()
+	}
+	if c.state.seqFrom != nil && msg.seq >= 0 {
+		// The reliability layer numbers every link's messages; a gap here
+		// would mean an undetected loss or reordering, which the healing
+		// protocol is supposed to make impossible.
+		if want := c.state.seqFrom[msg.src]; msg.seq != want {
+			panic(fmt.Errorf("mpi: reliability: rank %d received message seq %d from rank %d, want %d (undetected loss or reordering)",
+				c.rank, msg.seq, msg.src, want))
+		}
+		c.state.seqFrom[msg.src]++
 	}
 	t0 := c.state.clock
 	advance := msg.arrival - c.state.clock
@@ -656,7 +796,21 @@ type collCost struct {
 func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, cost collCost) any {
 	f := c.commEvent(op)
 	if f != nil && f.Kind == TruncatePayload {
-		val = truncatePayload(val)
+		if m := c.world.model; m.Reliable != nil {
+			// Checksummed contribution: the corrupted copy is rejected
+			// and retransmitted intact after one ack timeout. The late
+			// rank's clock enters the rendezvous max, so the whole
+			// collective absorbs the hiccup deterministically.
+			timeout := m.Reliable.ackTimeout(m, int(cost.bytes))
+			rt0 := c.state.clock
+			c.state.clock += timeout
+			c.state.commTime += timeout
+			if c.state.tr != nil {
+				c.state.tr.Retry(op, -1, 1, cost.bytes, rt0, c.state.clock)
+			}
+		} else {
+			val = truncatePayload(val)
+		}
 	}
 	t0 := c.state.clock
 	if c.size == 1 {

@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomPlanMatchesHistoricalKillPlan(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a := RandomKillPlan(seed, 16, 300)
+		b := RandomPlan(seed, 16, 300, KillRank)
+		if a.Key() != b.Key() {
+			t.Fatalf("seed %d: RandomPlan(KillRank) diverged from RandomKillPlan: %q vs %q", seed, b.Key(), a.Key())
+		}
+		if len(a.Faults) != 1 || a.Faults[0].Kind != KillRank {
+			t.Fatalf("seed %d: unexpected kill plan %+v", seed, a.Faults)
+		}
+	}
+}
+
+func TestRandomPlanMultiFaultSchedules(t *testing.T) {
+	kinds := []FaultKind{KillRank, DropMessage, DelayMessage, TruncatePayload}
+	plan := RandomPlan(42, 8, 500, kinds...)
+	if len(plan.Faults) != len(kinds) {
+		t.Fatalf("want %d faults, got %d", len(kinds), len(plan.Faults))
+	}
+	for i, f := range plan.Faults {
+		if f.Kind != kinds[i] {
+			t.Fatalf("fault %d: kind %v, want %v", i, f.Kind, kinds[i])
+		}
+		if f.Rank < 0 || f.Rank >= 8 || f.Event < 0 || f.Event >= 500 {
+			t.Fatalf("fault %d out of range: %+v", i, f)
+		}
+		switch f.Kind {
+		case DelayMessage:
+			if f.Delay < 1e-6 || f.Delay > 1e-3 {
+				t.Fatalf("delay %g outside [1µs, 1ms]", f.Delay)
+			}
+		case DropMessage:
+			if f.Repeat < 1 || f.Repeat > 3 {
+				t.Fatalf("drop repeat %d outside [1,3]", f.Repeat)
+			}
+		}
+	}
+	// Same seed, same plan; different seed, (almost surely) different plan.
+	if RandomPlan(42, 8, 500, kinds...).Key() != plan.Key() {
+		t.Fatal("RandomPlan is not deterministic in its seed")
+	}
+}
+
+// TestFaultPlanKeyInjective is the property test for cache keys: over a
+// large corpus of randomly drawn distinct plans, no two distinct plans
+// may share a Key (a collision would silently alias bench cache
+// entries).
+func TestFaultPlanKeyInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	kinds := []FaultKind{KillRank, DropMessage, DelayMessage, TruncatePayload}
+	randomFault := func() Fault {
+		f := Fault{
+			Kind:  kinds[rng.Intn(len(kinds))],
+			Rank:  rng.Intn(4),
+			Event: int64(rng.Intn(6)),
+		}
+		switch f.Kind {
+		case DelayMessage:
+			f.Delay = float64(1+rng.Intn(4)) * 1e-6
+		case DropMessage:
+			f.Repeat = rng.Intn(4) // 0 and 1 are semantically equal: see below
+		}
+		return f
+	}
+	canon := func(p *FaultPlan) string {
+		// Canonical structural identity: two plans are "the same plan"
+		// exactly when their faults match positionally, with drop Repeat
+		// 0 and 1 both meaning a single transmission.
+		out := ""
+		for _, f := range p.Faults {
+			r := f.Repeat
+			if r == 0 {
+				r = 1
+			}
+			out += fmt.Sprintf("%v|%d|%d|%g|%d;", f.Kind, f.Rank, f.Event, f.Delay, r)
+		}
+		return out
+	}
+	seen := map[string]string{} // Key -> canonical identity
+	plans := 0
+	for i := 0; i < 4000; i++ {
+		p := NewFaultPlan()
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			p.Faults = append(p.Faults, randomFault())
+		}
+		key := p.Key()
+		id := canon(p)
+		if prev, ok := seen[key]; ok {
+			if prev != id {
+				t.Fatalf("Key collision: %q produced by both %q and %q", key, prev, id)
+			}
+			continue
+		}
+		seen[key] = id
+		plans++
+	}
+	if plans < 100 {
+		t.Fatalf("property test degenerated: only %d distinct plans drawn", plans)
+	}
+	// And the empty/nil plans key to the empty string, distinct from all.
+	if NewFaultPlan().Key() != "" || (*FaultPlan)(nil).Key() != "" {
+		t.Fatal("empty plan must key to \"\"")
+	}
+}
+
+func TestFaultPlanCloneRemainingShrink(t *testing.T) {
+	p := NewFaultPlan().Kill(1, 10).Drop(2, 5).Delay(3, 7, 1e-6).Truncate(0, 2)
+
+	c := p.Clone()
+	c.Faults[0].Event = 99
+	if p.Faults[0].Event != 10 {
+		t.Fatal("Clone shares backing storage with the original")
+	}
+
+	// Teardown counters: rank 0 passed event 3 (truncate@2 fired), rank 2
+	// passed event 6 (drop@5 fired); ranks 1 and 3 died earlier.
+	rem := p.Remaining([]int64{3, 4, 6, 2})
+	if rem.Key() != NewFaultPlan().Kill(1, 10).Delay(3, 7, 1e-6).Key() {
+		t.Fatalf("Remaining kept the wrong faults: %q", rem.Key())
+	}
+	if p.Len() != 4 {
+		t.Fatal("Remaining mutated the original plan")
+	}
+
+	s := p.ShrinkRank(2)
+	want := NewFaultPlan().Kill(1, 10).Delay(2, 7, 1e-6).Truncate(0, 2)
+	if s.Key() != want.Key() {
+		t.Fatalf("ShrinkRank(2) = %q, want %q", s.Key(), want.Key())
+	}
+
+	if (*FaultPlan)(nil).Clone() != nil || (*FaultPlan)(nil).Remaining(nil) != nil || (*FaultPlan)(nil).ShrinkRank(0) != nil {
+		t.Fatal("nil plan surgery must stay nil")
+	}
+	if (*FaultPlan)(nil).Len() != 0 {
+		t.Fatal("nil plan Len must be 0")
+	}
+}
+
+func TestTruncateOddLengthPayloads(t *testing.T) {
+	// Both the reflect path (plain slices) and the pooled-buffer path
+	// keep the first ⌊n/2⌋ elements.
+	got := truncatePayload([]int32{1, 2, 3, 4, 5}).([]int32)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("odd-length slice truncated to %v, want first 2 elements", got)
+	}
+	if n := len(truncatePayload([]float64{1, 2, 3, 4}).([]float64)); n != 2 {
+		t.Fatalf("even-length slice truncated to %d elements, want 2", n)
+	}
+	if truncatePayload(42) != nil {
+		t.Fatal("non-slice payloads must truncate to nil")
+	}
+}

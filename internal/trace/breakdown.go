@@ -107,8 +107,8 @@ func rankPhases(rt *RankTrace) []PhaseCost {
 			closeSpan(ev.Start)
 			cur = ""
 			curStart = ev.Start
-		case KindFault:
-			// zero-duration marker; no cost to attribute
+		case KindFault, KindRestore:
+			// zero-duration markers; no cost to attribute
 		default:
 			pc := row(cur)
 			pc.Comm += ev.Comm

@@ -67,6 +67,18 @@ func (r *Recorder) ChromeTrace(w io.Writer) error {
 					PID: 0, TID: rt.rank, S: "t",
 					Args: map[string]any{"event": ev.Gen},
 				})
+			case KindRetry:
+				events = append(events, chromeEvent{
+					Name: "retry:" + ev.Op, Ph: "i", TS: ev.Start * usPerVirtualSecond,
+					PID: 0, TID: rt.rank, S: "t",
+					Args: map[string]any{"peer": ev.Peer, "attempts": ev.Gen, "bytes": ev.Bytes},
+				})
+			case KindRestore:
+				events = append(events, chromeEvent{
+					Name: "restore", Ph: "i", TS: ev.Start * usPerVirtualSecond,
+					PID: 0, TID: rt.rank, S: "t",
+					Args: map[string]any{"events": ev.Gen},
+				})
 			}
 		}
 	}

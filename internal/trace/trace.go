@@ -40,6 +40,17 @@ const (
 	KindFault
 	// KindEnd closes a rank's timeline: the final clock at teardown.
 	KindEnd
+	// KindRetry is a reliability-layer retransmission burst healing a
+	// dropped or badly delayed message: the sender's extra latency
+	// charges. Gen carries the retransmission count; Bytes the
+	// retransmitted payload volume. Deliberately not a KindSend — the
+	// healed message is delivered exactly once, so byte-symmetry
+	// invariants count it once.
+	KindRetry
+	// KindRestore marks a checkpoint restore: the rank's clock jumped to
+	// the snapshot clock (Start) before re-entering the pipeline. Gen
+	// carries the restored communication-event counter.
+	KindRestore
 )
 
 // Event is one recorded runtime event. Start and End are virtual-clock
@@ -128,6 +139,28 @@ func (rt *RankTrace) Charge(op string, bytes int64, ts, tw, start, end float64) 
 	})
 }
 
+// Retry records a reliability-layer retransmission burst: `attempts`
+// resends of a bytes-sized message to peer, whose send overhead was
+// charged to this rank over [start, end]. The receiver-side backoff is
+// not recorded here — it is folded into the arrival of the healed
+// message and shows up in the matching Recv.
+func (rt *RankTrace) Retry(op string, peer int, attempts int, bytes int64, start, end float64) {
+	rt.events = append(rt.events, Event{
+		Kind: KindRetry, Op: op, Peer: peer, Gen: int64(attempts),
+		Bytes: int64(attempts) * bytes,
+		Start: start, End: end, Comm: end - start, TS: end - start,
+	})
+}
+
+// RestoreMark records a checkpoint restore: the rank's counters jumped
+// to the snapshot clock and communication-event cursor.
+func (rt *RankTrace) RestoreMark(clock float64, events int64) {
+	rt.events = append(rt.events, Event{
+		Kind: KindRestore, Op: "restore", Peer: -1, Gen: events,
+		Start: clock, End: clock,
+	})
+}
+
 // Fault records an injected fault firing at this rank: kind names the
 // fault, op the communication operation it fired inside, event the
 // rank's communication-event index.
@@ -166,6 +199,18 @@ func (r *Recorder) Attach(p int) []*RankTrace {
 		r.ranks[i] = &RankTrace{rank: i}
 	}
 	return r.ranks
+}
+
+// Reset returns the recorder to its unattached state, discarding any
+// recorded events. Recovery drivers use it to reuse one user-provided
+// recorder across restart attempts: only the final (successful)
+// attempt's trace survives; failed attempts are summarised in the
+// driver's recovery stats instead.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attached = false
+	r.ranks = nil
 }
 
 // Ranks returns the per-rank logs (nil before Attach).
