@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/hostpar"
+	"repro/internal/mpi"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "suite size scale (1 = default bench sizes)")
 		psFlag     = flag.String("ps", "", "comma-separated processor sweep (default 1,2,...,1024)")
 		workers    = flag.Int("workers", 0, "worker pool size for the sweep and the fork-join kernels (0 = one per core)")
+		replayFlag = flag.String("replay", "goroutine", "rank scheduling: goroutine | batched (step at most -workers ranks' compute between communication points)")
 		phaseBreak = flag.Bool("phase-breakdown", false, "print the per-phase virtual-time and byte-volume breakdown of the ScalaPart sweep, then exit")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "base seed for the chaos experiment's fault schedules")
 		chaosRuns  = flag.Int("chaos-schedules", 3, "fault schedules per (graph, P, policy) in the chaos experiment")
@@ -78,6 +80,12 @@ func main() {
 	// One setting bounds both pools: concurrent sweep runs and the
 	// fork-join kernels inside each run share the host's cores.
 	hostpar.SetWorkers(*workers)
+	replay, err := mpi.ParseReplayMode(*replayFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	mpi.SetReplayMode(replay)
 	h := bench.New(*scale, ps)
 	h.Workers = *workers
 	if !*quiet {

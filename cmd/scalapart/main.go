@@ -53,7 +53,8 @@ func main() {
 		watchdog    = flag.Duration("watchdog", 0, "deadlock watchdog stall window (0 = built-in default)")
 		benchJSON   = flag.String("bench-json", "", "sweep ScalaPart over the suite and write perf-trajectory JSON to this file, then exit")
 		psFlag      = flag.String("ps", "", "processor sweep for -bench-json (default 1,2,...,1024)")
-		workers     = flag.Int("workers", 0, "host worker pool size for the fork-join coarsening kernels (0 = one per core)")
+		workers     = flag.Int("workers", 0, "host worker pool size for the fork-join coarsening/embedding kernels (0 = one per core)")
+		replayFlag  = flag.String("replay", "goroutine", "rank scheduling: goroutine (one live goroutine per rank) | batched (step at most -workers ranks' compute between communication points)")
 		phaseBreak  = flag.Bool("phase-breakdown", false, "print the per-phase virtual-time and byte-volume breakdown (Section 3.1 cost terms); with -bench-json, embed it per run")
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (timeline axis = virtual clock)")
 		checkInv    = flag.Bool("check-invariants", false, "validate runtime invariants (clock monotonicity, byte symmetry, collective participation) and partition invariants after the run")
@@ -62,6 +63,12 @@ func main() {
 	)
 	flag.Parse()
 	hostpar.SetWorkers(*workers)
+	replay, err := mpi.ParseReplayMode(*replayFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalapart:", err)
+		os.Exit(1)
+	}
+	mpi.SetReplayMode(replay)
 	policy, err := core.ParseRecoveryPolicy(*recoverFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalapart:", err)

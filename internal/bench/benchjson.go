@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/hostpar"
+	"repro/internal/mpi"
 	"repro/internal/trace"
 )
 
@@ -22,7 +23,13 @@ type BenchRecord struct {
 	Messages    int64   `json:"messages"`
 	BytesSent   int64   `json:"bytes_sent"`
 	WallSeconds float64 `json:"wall_s"`
-	Fallback    bool    `json:"fallback,omitempty"`
+	// HostWorkers and ReplayMode record the host-performance knobs the
+	// wall clock was measured under; every modeled field above is
+	// independent of both by construction
+	// (TestReplayModesBitIdentical).
+	HostWorkers int    `json:"host_workers,omitempty"`
+	ReplayMode  string `json:"replay_mode,omitempty"`
+	Fallback    bool   `json:"fallback,omitempty"`
 	// PhaseBreakdown is present only when the sweep ran with tracing on
 	// (Harness.Trace); the default BENCH files omit it, keeping them
 	// bit-identical to pre-tracing files.
@@ -59,6 +66,8 @@ func (h *Harness) BenchJSON() ([]byte, error) {
 				Messages:    r.Messages,
 				BytesSent:   r.BytesSent,
 				WallSeconds: r.WallSeconds,
+				HostWorkers: hostpar.Workers(),
+				ReplayMode:  mpi.Replay().String(),
 				Fallback:    r.Fallback,
 
 				PhaseBreakdown: r.Breakdown,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geometry"
 	"repro/internal/graph"
+	"repro/internal/hostpar"
 	"repro/internal/mpi"
 	"repro/internal/quadtree"
 )
@@ -243,6 +244,9 @@ type levelState struct {
 	gatherBuf  [2][]beta              // double-buffered AllGather contribution
 	gatherFlip int
 	tree       quadtree.Tree // Barnes–Hut tree, rebuilt in place each iteration
+
+	// Host-parallel scratch and pre-bound chunk bodies (hostpar.go).
+	hp hostparScratch
 }
 
 // newLevelState wires up a rank's level: adjacency resolution, ghost
@@ -364,6 +368,7 @@ func newLevelState(comm *mpi.Comm, lat *Lattice, g *graph.Graph, ownedIDs []int3
 		}
 	}
 	s.step = NewStepController(fp.K)
+	s.initHostpar()
 	return s
 }
 
@@ -423,8 +428,18 @@ func (s *levelState) cellOf(p geometry.Vec2) int {
 }
 
 // computeCells refreshes this rank's sub-cell aggregates from the owned
-// points and installs them in the global cell array.
+// points and installs them in the global cell array. Runs the
+// host-parallel classification (see hostpar.go) unless SetParallel
+// disabled it; the two paths are bit-identical.
 func (s *levelState) computeCells() {
+	if parallelOn.Load() {
+		s.computeCellsHostpar()
+		return
+	}
+	s.computeCellsLegacy()
+}
+
+func (s *levelState) computeCellsLegacy() {
 	for i := range s.myCells {
 		s.myCells[i] = beta{}
 	}
@@ -461,9 +476,7 @@ func (s *levelState) pushGhosts() {
 			continue
 		}
 		buf := mpi.Vec2Bufs.Get(len(idxs))
-		for i, li := range idxs {
-			buf.Data[i] = s.pos[li]
-		}
+		s.packGhostPayload(buf.Data, idxs)
 		mpi.SendVec(s.comm, r, buf, 16)
 	}
 	for r := 0; r < s.comm.Size(); r++ {
@@ -485,9 +498,7 @@ func (s *levelState) pushGhosts() {
 }
 
 func (s *levelState) applyGhostUpdate(slots []int32, payload []geometry.Vec2) {
-	for i, slot := range slots {
-		s.setGhost(slot, payload[i])
-	}
+	s.installGhosts(slots, payload)
 }
 
 // setGhost installs one ghost coordinate: the true position plus its
@@ -521,11 +532,7 @@ func (s *levelState) exchangeNeighborhood() {
 		for i, b := range s.myCells {
 			d[3*i], d[3*i+1], d[3*i+2] = b.Phi.X, b.Phi.Y, b.Mu
 		}
-		off := 3 * nc
-		for _, li := range s.sendTo[r] {
-			d[off], d[off+1] = s.pos[li].X, s.pos[li].Y
-			off += 2
-		}
+		s.packCoordPayload(d, 3*nc, s.sendTo[r])
 		bufs = append(bufs, buf)
 	}
 	s.nbrBufs = bufs
@@ -542,11 +549,7 @@ func (s *levelState) exchangeNeighborhood() {
 			}
 		}
 		s.placeCells(r, s.recvCells)
-		off := 3 * nc
-		for _, slot := range s.recvFrom[r] {
-			s.setGhost(slot, geometry.Vec2{X: d[off], Y: d[off+1]})
-			off += 2
-		}
+		s.installGhostsFlat(s.recvFrom[r], d, 3*nc)
 	})
 }
 
@@ -579,7 +582,19 @@ func (s *levelState) refreshBetasGlobal() {
 // positions clamped to the 4-neighbourhood per the paper. The paper's
 // mass products are interpreted per unit mass so repulsion and
 // attraction stay commensurate.
+//
+// Dispatches to the host-parallel kernels (hostpar.go) unless
+// SetParallel disabled them; the two paths are bit-identical, including
+// the virtual-clock charge.
 func (s *levelState) iterate() {
+	if parallelOn.Load() {
+		s.iterateHostpar()
+		return
+	}
+	s.iterateLegacy()
+}
+
+func (s *levelState) iterateLegacy() {
 	me := s.comm.Rank()
 	fp := s.fp
 	nc := len(s.myCells)
@@ -691,8 +706,15 @@ func (s *levelState) iterate() {
 // f², repulsion as 1/f). Every rank applies the same factor, so box
 // ownership and all relative geometry are preserved.
 func (s *levelState) rescale(f float64) {
-	for i := range s.pos {
-		s.pos[i] = s.pos[i].Scale(f)
+	if parallelOn.Load() {
+		// Element-wise scale: exact for any chunking. The ghost/beta/cut
+		// loops below stay serial — they are a small constant share.
+		s.hp.scaleF = f
+		hostpar.ForChunked(len(s.pos), grainCopy, s.hp.fnScalePos)
+	} else {
+		for i := range s.pos {
+			s.pos[i] = s.pos[i].Scale(f)
+		}
 	}
 	for i := range s.ghostPos {
 		s.ghostPos[i] = s.ghostPos[i].Scale(f)

@@ -18,6 +18,12 @@ func benchLevelState(c *mpi.Comm, g *gen.Generated, seed int64) *levelState {
 	return initCoarsest(c, lev, opt)
 }
 
+// buildBenchHierarchy builds the multilevel hierarchy once so
+// whole-embedding benchmarks measure embedding, not coarsening.
+func buildBenchHierarchy(g *gen.Generated, p int) *coarsen.Hierarchy {
+	return coarsen.BuildHierarchy(g.G, p, coarsen.Options{CoarsestSize: 200, Seed: 1})
+}
+
 // BenchmarkSmooth measures the steady-state smoothing hot loop: each op
 // is two full staleness blocks (2·blockSize iterations), covering the
 // block-boundary ghost push + beta gather + energy reduction and the

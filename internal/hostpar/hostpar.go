@@ -56,8 +56,36 @@ const maxPool = 256
 var (
 	poolMu   sync.Mutex
 	poolSize int
-	taskq    = make(chan func(), 512)
+	taskq    = make(chan task, 512)
 )
+
+// job is the shared state of one ForN call: the loop body, the chunk
+// layout, and the completion counter. Jobs cycle through a sync.Pool so
+// a steady-state caller (e.g. a force loop invoking ForN every
+// iteration) allocates nothing per call beyond its own body closure.
+type job struct {
+	body    func(c, lo, hi int)
+	n       int
+	chunks  int
+	pending atomic.Int32
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// task is one chunk of a job. Tasks travel through the queue by value,
+// so submission never allocates.
+type task struct {
+	j *job
+	c int
+}
+
+func (t task) run() {
+	lo, hi := ChunkBounds(t.j.n, t.j.chunks, t.c)
+	t.j.body(t.c, lo, hi)
+	// Last touch of t.j: the decrement publishes the body's writes to
+	// the ForN caller spinning on pending, which then owns the job.
+	t.j.pending.Add(-1)
+}
 
 // ensureWorkers grows the shared pool to at least n parked workers.
 func ensureWorkers(n int) {
@@ -68,8 +96,8 @@ func ensureWorkers(n int) {
 	for poolSize < n {
 		poolSize++
 		go func() {
-			for f := range taskq {
-				f()
+			for t := range taskq {
+				t.run()
 			}
 		}()
 	}
@@ -120,19 +148,15 @@ func ForN(n, chunks int, body func(c, lo, hi int)) {
 		return
 	}
 	ensureWorkers(chunks - 1)
-	var pending atomic.Int32
-	pending.Store(int32(chunks - 1))
+	j := jobPool.Get().(*job)
+	j.body, j.n, j.chunks = body, n, chunks
+	j.pending.Store(int32(chunks - 1))
 	for c := 1; c < chunks; c++ {
-		c := c
-		lo, hi := ChunkBounds(n, chunks, c)
-		f := func() {
-			body(c, lo, hi)
-			pending.Add(-1)
-		}
+		t := task{j: j, c: c}
 		select {
-		case taskq <- f:
+		case taskq <- t:
 		default:
-			f() // queue full: run inline rather than block
+			t.run() // queue full: run inline rather than block
 		}
 	}
 	lo, hi := ChunkBounds(n, chunks, 0)
@@ -140,14 +164,16 @@ func ForN(n, chunks int, body func(c, lo, hi int)) {
 	// Help drain the shared queue while waiting: parking here could
 	// strand nested invocations whose chunks sit in the queue behind
 	// other waiting callers.
-	for pending.Load() > 0 {
+	for j.pending.Load() > 0 {
 		select {
-		case f := <-taskq:
-			f()
+		case t := <-taskq:
+			t.run()
 		default:
 			runtime.Gosched()
 		}
 	}
+	j.body = nil // drop the closure reference before pooling
+	jobPool.Put(j)
 }
 
 // ForChunked runs body(c, lo, hi) over NumChunks(n, grain) static

@@ -156,6 +156,10 @@ type rankState struct {
 	phase  string // set via Comm.SetPhase; read only by the owning goroutine
 	wait   atomic.Pointer[waitInfo]
 
+	// slotHeld tracks whether this rank currently holds a batched-replay
+	// compute slot (see replay.go); owning goroutine only.
+	slotHeld bool
+
 	// Per-link sequence counters of the reliability layer, allocated only
 	// when Model.Reliable is set: seqTo[r] numbers the next send to rank
 	// r, seqFrom[r] the next expected receive from rank r. Pure
@@ -176,6 +180,11 @@ type World struct {
 	colls  map[int]*collective // keyed by communicator size
 
 	ranks []*rankState
+
+	// gate is the batched-replay admission gate (nil in goroutine mode):
+	// a buffered channel holding one token per concurrently runnable
+	// rank. See replay.go.
+	gate chan struct{}
 
 	abortCh   chan struct{}
 	abortOnce sync.Once
@@ -245,6 +254,7 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 		ranks:   make([]*rankState, p),
 		abortCh: make(chan struct{}),
 	}
+	w.gate = newStepGate(p)
 	// Inbox capacity must cover the worst transient backlog: every other
 	// rank sending twice (two pipelined exchange phases) before this
 	// rank drains.
@@ -271,9 +281,13 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 		wg.Add(1)
 		go func(rank int) {
 			st := w.ranks[rank]
+			comm := &Comm{world: w, rank: rank, size: p, state: st}
 			defer wg.Done()
 			defer func() {
 				e := recover()
+				// A finished (or dying) rank must hand its batched-replay
+				// compute slot on, whatever path got it here.
+				comm.releaseSlot()
 				st.wait.Store(&waitInfo{kind: waitDone, clock: st.clock, phase: st.phase})
 				w.progress.Add(1)
 				if st.tr != nil {
@@ -291,7 +305,8 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 				}
 				w.abort(&RankError{Rank: rank, Phase: st.phase, Err: err})
 			}()
-			body(&Comm{world: w, rank: rank, size: p, state: st})
+			comm.acquireSlot()
+			body(comm)
 		}(r)
 	}
 	window := model.Watchdog
@@ -623,6 +638,10 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 			// Fast path: the inbox had room, nothing blocked, so no
 			// waitInfo snapshot is needed for the watchdog.
 		default:
+			// About to park on a full inbox: hand the batched-replay
+			// compute slot to a runnable rank (the receiver needs one to
+			// drain us).
+			c.releaseSlot()
 			c.beginWait(waitSend, op, to, 0, 0)
 			select {
 			case c.world.ranks[to].inbox <- msg:
@@ -634,6 +653,7 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 				panic(abortSignal{})
 			}
 			c.endWait()
+			c.acquireSlot()
 		}
 	} else {
 		// A dropped pooled payload never reaches a receiver's Release;
@@ -693,6 +713,9 @@ func (c *Comm) recvOp(from int, op string) any {
 		}
 	}
 	if !ok {
+		// Parking until the matching send arrives: the sender needs a
+		// batched-replay compute slot to reach its send, so give ours up.
+		c.releaseSlot()
 		c.beginWait(waitRecv, op, from, 0, 0)
 	recvLoop:
 		for {
@@ -710,6 +733,7 @@ func (c *Comm) recvOp(from int, op string) any {
 			}
 		}
 		c.endWait()
+		c.acquireSlot()
 	}
 	if c.state.seqFrom != nil && msg.seq >= 0 {
 		// The reliability layer numbers every link's messages; a gap here
@@ -860,6 +884,10 @@ func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, c
 		coll.gen++
 		coll.cond.Broadcast()
 	} else {
+		// Waiting for the rest of the communicator: later arrivals need
+		// compute slots to reach this collective, so give ours up before
+		// parking (releaseSlot never blocks, so holding coll.mu is fine).
+		c.releaseSlot()
 		c.beginWait(waitColl, op, -1, coll.size, myGen)
 		for coll.gen == myGen {
 			if c.world.aborted.Load() {
@@ -876,6 +904,9 @@ func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, c
 	}
 	res, done := coll.result, coll.done
 	coll.mu.Unlock()
+	// Reacquire outside the collective's mutex: a full gate must not
+	// hold the rendezvous lock hostage.
+	c.acquireSlot()
 	charged := 0.0
 	if done > c.state.clock {
 		advance := done - c.state.clock
