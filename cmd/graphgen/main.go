@@ -19,12 +19,13 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("graph", "delaunay_n20", "suite graph name (see -list)")
-		scale  = flag.Float64("scale", 1.0, "size scale (1 = default bench size)")
-		format = flag.String("format", "metis", "output format: metis | mm")
-		out    = flag.String("o", "", "output file (default stdout)")
-		coords = flag.String("coords", "", "also write natural coordinates ('x y' per line) here")
-		list   = flag.Bool("list", false, "list graphs and exit")
+		name     = flag.String("graph", "delaunay_n20", "suite graph name (see -list)")
+		scale    = flag.Float64("scale", 1.0, "size scale (1 = default bench size)")
+		format   = flag.String("format", "metis", "output format: metis | mm")
+		out      = flag.String("o", "", "output file (default stdout)")
+		coords   = flag.String("coords", "", "also write natural coordinates ('x y' per line) here")
+		compress = flag.Bool("compress", false, "report delta/varint compressed sizing stats and emit through the compressed representation (byte-identical output)")
+		list     = flag.Bool("list", false, "list graphs and exit")
 	)
 	flag.Parse()
 	if *list {
@@ -43,6 +44,13 @@ func main() {
 	if built == nil {
 		fmt.Fprintf(os.Stderr, "graphgen: unknown graph %q\n", *name)
 		os.Exit(1)
+	}
+	var plainBytes int64
+	if *compress {
+		// Compress before emitting so the write path itself exercises the
+		// compressed representation; the emitted file is byte-identical.
+		plainBytes = built.G.AdjacencyBytes()
+		built.G = graph.Compress(built.G)
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -87,5 +95,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "graphgen: %s n=%d m=%d\n", *name, built.G.NumVertices(), built.G.NumEdges())
+	if *compress {
+		comp := built.G.AdjacencyBytes()
+		perEdge, ratio := 0.0, 0.0
+		if m := built.G.NumEdges(); m > 0 {
+			perEdge = float64(comp) / float64(m)
+			ratio = 100 * float64(comp) / float64(plainBytes)
+		}
+		fmt.Fprintf(os.Stderr, "graphgen: %s n=%d m=%d adjacency plain=%dB compressed=%dB (%.2f B/edge, %.1f%% of plain)\n",
+			*name, built.G.NumVertices(), built.G.NumEdges(), plainBytes, comp, perEdge, ratio)
+	} else {
+		fmt.Fprintf(os.Stderr, "graphgen: %s n=%d m=%d\n", *name, built.G.NumVertices(), built.G.NumEdges())
+	}
 }

@@ -43,6 +43,7 @@ func main() {
 		name        = flag.String("graph", "", "built-in suite graph name (see -list)")
 		scale       = flag.Float64("scale", 0.25, "size scale for built-in graphs")
 		method      = flag.String("method", "ScalaPart", "ScalaPart | ParMetis | Pt-Scotch | RCB | SP-PG7-NL | G30 | G7 | G7-NL")
+		compress    = flag.Bool("compress", false, "hold the graph in the delta/varint compressed adjacency representation (identical results, smaller footprint); with -bench-json, sweep on compressed graphs")
 		p           = flag.Int("p", 16, "simulated processor count")
 		seed        = flag.Int64("seed", 42, "random seed")
 		out         = flag.String("out", "", "write per-vertex part ids to this file")
@@ -105,7 +106,7 @@ func main() {
 		}
 	}()
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *scale, *psFlag, *phaseBreak); err != nil {
+		if err := writeBenchJSON(*benchJSON, *scale, *psFlag, *phaseBreak, *compress); err != nil {
 			fmt.Fprintln(os.Stderr, "scalapart:", err)
 			os.Exit(1)
 		}
@@ -148,6 +149,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	if *compress {
+		plain := g.AdjacencyBytes()
+		g = graph.Compress(g)
+		comp := g.AdjacencyBytes()
+		perEdge, ratio := 0.0, 0.0
+		if m := g.NumEdges(); m > 0 {
+			perEdge = float64(comp) / float64(m)
+			ratio = 100 * float64(comp) / float64(plain)
+		}
+		fmt.Printf("compressed adjacency: %d bytes (%.2f B/edge, %.1f%% of plain %d)\n",
+			comp, perEdge, ratio, plain)
+	}
 
 	needCoords := map[string]bool{"RCB": true, "SP-PG7-NL": true, "G30": true, "G7": true, "G7-NL": true}
 	if needCoords[*method] && coords == nil {
@@ -297,8 +310,11 @@ func main() {
 // writeBenchJSON runs the ScalaPart suite sweep at the given scale and
 // writes the BENCH perf-trajectory file (modeled time, comm time,
 // message counts, and host wall-clock per run). With breakdown set the
-// sweep runs traced and each row carries its phase_breakdown array.
-func writeBenchJSON(path string, scale float64, psSpec string, breakdown bool) error {
+// sweep runs traced and each row carries its phase_breakdown array;
+// with compress set the suite graphs are held in the delta/varint
+// compressed representation (modeled fields are bit-identical either
+// way, and each row records compressed/bytes_per_edge/peak_rss).
+func writeBenchJSON(path string, scale float64, psSpec string, breakdown, compress bool) error {
 	ps := bench.DefaultPs()
 	if psSpec != "" {
 		ps = ps[:0]
@@ -312,6 +328,7 @@ func writeBenchJSON(path string, scale float64, psSpec string, breakdown bool) e
 	}
 	h := bench.New(scale, ps)
 	h.Trace = breakdown
+	h.Compress = compress
 	h.Out = os.Stderr
 	data, err := h.BenchJSON()
 	if err != nil {

@@ -106,6 +106,10 @@ func Partition(g *graph.Graph, p int, cfg Config) *Result {
 // failure comes back as an *mpi.RankError instead of crashing the
 // caller.
 func PartitionChecked(g *graph.Graph, p int, cfg Config) (*Result, error) {
+	// The baseline is the legacy reference implementation and walks raw
+	// Adjncy throughout; a compressed input is decoded once up front
+	// (Plain is the identity on plain graphs).
+	g = g.Plain()
 	cfg = cfg.withDefaults()
 	h := coarsen.BuildHierarchy(g, p, coarsen.Options{
 		CoarsestSize:  cfg.CoarsestSize,

@@ -30,6 +30,16 @@ type BenchRecord struct {
 	HostWorkers int    `json:"host_workers,omitempty"`
 	ReplayMode  string `json:"replay_mode,omitempty"`
 	Fallback    bool   `json:"fallback,omitempty"`
+	// Compressed records whether the run consumed the delta/varint
+	// compressed adjacency (Harness.Compress); BytesPerEdge is the
+	// adjacency footprint of the input graph per undirected edge under
+	// that representation, and PeakRSS the max heap+stack in-use bytes
+	// sampled while the run computed. All three are host-memory
+	// observability; the modeled fields above are independent of the
+	// representation by construction (TestCompressedPipelineBitIdentical).
+	Compressed   bool    `json:"compressed,omitempty"`
+	BytesPerEdge float64 `json:"bytes_per_edge,omitempty"`
+	PeakRSS      int64   `json:"peak_rss_bytes,omitempty"`
 	// PhaseBreakdown is present only when the sweep ran with tracing on
 	// (Harness.Trace); the default BENCH files omit it, keeping them
 	// bit-identical to pre-tracing files.
@@ -53,6 +63,11 @@ func (h *Harness) BenchJSON() ([]byte, error) {
 	h.Precompute([]string{MethodSP})
 	file := BenchFile{Scale: h.Scale, Ps: h.Ps, HostWorkers: hostpar.Workers()}
 	for _, name := range SuiteNames() {
+		g := h.Graph(name)
+		bytesPerEdge := 0.0
+		if m := g.G.NumEdges(); m > 0 {
+			bytesPerEdge = float64(g.G.AdjacencyBytes()) / float64(m)
+		}
 		for _, p := range h.Ps {
 			r := h.Get(name, MethodSP, p)
 			file.Runs = append(file.Runs, BenchRecord{
@@ -69,6 +84,10 @@ func (h *Harness) BenchJSON() ([]byte, error) {
 				HostWorkers: hostpar.Workers(),
 				ReplayMode:  mpi.Replay().String(),
 				Fallback:    r.Fallback,
+
+				Compressed:   g.G.Compressed(),
+				BytesPerEdge: bytesPerEdge,
+				PeakRSS:      r.PeakRSS,
 
 				PhaseBreakdown: r.Breakdown,
 			})

@@ -47,6 +47,7 @@ type Run struct {
 	Time        float64 // modeled seconds (max over ranks); 0 for sequential baselines
 	CommTime    float64
 	WallSeconds float64         // host wall-clock spent computing the run
+	PeakRSS     int64           // max heap+stack in-use bytes sampled during the run
 	Messages    int64           // point-to-point messages, summed over ranks
 	BytesSent   int64           // point-to-point payload bytes, summed over ranks
 	Times       core.PhaseTimes // phase breakdown (ScalaPart runs)
@@ -78,6 +79,15 @@ type Harness struct {
 	Out     io.Writer // progress log; nil silences
 	Workers int       // Precompute pool size; 0 = one per available core
 	Trace   bool      // record per-run traces and fill Run.Breakdown
+	// Compress builds every suite graph in the delta/varint compressed
+	// representation (graph.Compress) before any run touches it. Modeled
+	// results are bit-identical either way (the pipeline consumes
+	// adjacency through graph.Cursor); only host wall clocks and memory
+	// footprints change. Part of the cache fingerprint — set it before
+	// the first Graph/Get call and do not toggle it mid-sweep, because
+	// the per-name graph cache holds whichever representation was built
+	// first.
+	Compress bool
 	// Recover configures rollback recovery for ScalaPart runs (policy
 	// off keeps the historical fail-then-fallback behaviour). It is part
 	// of the cache fingerprint, so recovered and plain sweeps never
@@ -122,7 +132,11 @@ func (h *Harness) Graph(name string) *gen.Generated {
 		for _, e := range gen.SuiteEntries() {
 			if e.Name == name {
 				h.logf("generating %s (scale %g)...", name, h.Scale)
-				return e.Build(h.Scale)
+				gg := e.Build(h.Scale)
+				if h.Compress {
+					gg.G = graph.Compress(gg.G)
+				}
+				return gg
 			}
 		}
 		panic("bench: unknown suite graph " + name)
@@ -178,9 +192,9 @@ func (h *Harness) Get(graphName, method string, p int) *Run {
 // different fingerprints compute independent runs instead of sharing a
 // stale cache entry.
 func (h *Harness) envKey() string {
-	return fmt.Sprintf("w%d|replay:%s|batch%t|pbuild%t|pembed%t|pool%t|trace%t|recover:%s:%d:%d:%d|faults:%s",
+	return fmt.Sprintf("w%d|replay:%s|batch%t|pbuild%t|pembed%t|pool%t|trace%t|compress%t|recover:%s:%d:%d:%d|faults:%s",
 		hostpar.Workers(), mpi.Replay(), geopart.Batching(), graph.ParallelBuild(),
-		embed.Parallel(), mpi.PoolingEnabled(), h.Trace,
+		embed.Parallel(), mpi.PoolingEnabled(), h.Trace, h.Compress,
 		h.Recover.Policy, h.Recover.RetryBudget, h.Recover.MaxRespawns, h.Recover.MaxShrinks,
 		h.Model.Faults.Key())
 }
@@ -245,6 +259,43 @@ func (h *Harness) fallbackRun(run *Run, g *gen.Generated, seed int64, runErr err
 	return run
 }
 
+// startPeakSampler starts a goroutine that samples the live Go memory
+// footprint (heap + goroutine stacks in use — the portable proxy for
+// resident set) every 50ms and returns a stop function reporting the
+// peak observed, including one final sample at stop. Runs computed
+// concurrently by Precompute share the process footprint, so the
+// per-run number is an upper bound under a parallel warm and exact
+// under a sequential sweep (the BENCH recording path).
+func startPeakSampler() func() int64 {
+	sample := func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapInuse + ms.StackInuse)
+	}
+	peak := sample()
+	done := make(chan struct{})
+	result := make(chan int64, 1)
+	go func() {
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				if v := sample(); v > peak {
+					peak = v
+				}
+				result <- peak
+				return
+			case <-tick.C:
+				if v := sample(); v > peak {
+					peak = v
+				}
+			}
+		}
+	}()
+	return func() int64 { close(done); return <-result }
+}
+
 // addStats folds per-rank runtime statistics into the run's totals.
 func (run *Run) addStats(stats []mpi.RankStats) {
 	for _, s := range stats {
@@ -259,7 +310,9 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 	run := &Run{Graph: graphName, Method: method, P: p}
 	h.logf("run %-10s %-18s P=%-5d", method, graphName, p)
 	start := time.Now()
+	stopSampler := startPeakSampler()
 	defer func() {
+		run.PeakRSS = stopSampler()
 		run.WallSeconds = time.Since(start).Seconds()
 		h.logf("  %-10s %-18s P=%-5d modeled %.4gs  wall %.2fs", method, graphName, p, run.Time, run.WallSeconds)
 	}()

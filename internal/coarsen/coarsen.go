@@ -31,6 +31,8 @@ func HeavyEdgeMatch(g *graph.Graph, rng *rand.Rand, allowed func(u, v int32) boo
 	for i := range match {
 		match[i] = int32(i)
 	}
+	cur := graph.GetCursor(g)
+	defer cur.Release()
 	order := rng.Perm(n)
 	for _, ui := range order {
 		u := int32(ui)
@@ -39,15 +41,15 @@ func HeavyEdgeMatch(g *graph.Graph, rng *rand.Rand, allowed func(u, v int32) boo
 		}
 		var best int32 = -1
 		var bestW int32 = -1
-		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
-			v := g.Adjncy[k]
+		nbrs, wgts := cur.Arcs(u)
+		for k, v := range nbrs {
 			if match[v] != v || v == u {
 				continue
 			}
 			if allowed != nil && !allowed(u, v) {
 				continue
 			}
-			if w := g.ArcWeight(k); w > bestW {
+			if w := wgts[k]; w > bestW {
 				bestW, best = w, v
 			}
 		}
@@ -112,13 +114,15 @@ func contractBlockedSerial(g *graph.Graph, match []int32, offsets []int32) (*gra
 	for cv, w := range cw {
 		b.SetVertexWeight(int32(cv), w)
 	}
+	cur := graph.GetCursor(g)
+	defer cur.Release()
 	for u := int32(0); u < int32(n); u++ {
 		cu := fineToCoarse[u]
-		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
-			v := g.Adjncy[k]
+		nbrs, wgts := cur.Arcs(u)
+		for k, v := range nbrs {
 			cv := fineToCoarse[v]
 			if cu < cv {
-				b.AddWeightedEdge(cu, cv, g.ArcWeight(k))
+				b.AddWeightedEdge(cu, cv, wgts[k])
 			}
 		}
 	}

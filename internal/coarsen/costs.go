@@ -3,6 +3,7 @@ package coarsen
 import (
 	"strconv"
 
+	"repro/internal/graph"
 	"repro/internal/hostpar"
 	"repro/internal/mpi"
 )
@@ -20,10 +21,13 @@ func BoundaryEdges(h *Hierarchy) [][]int64 {
 		lev := &h.Levels[li]
 		counts := make([]int64, lev.Ranks)
 		hostpar.For(lev.Ranks, 1, func(r int) {
+			cur := graph.GetCursor(lev.G)
+			defer cur.Release()
 			begin, end := lev.Offsets[r], lev.Offsets[r+1]
 			n := int64(0)
 			for v := begin; v < end; v++ {
-				for _, nb := range lev.G.Neighbors(v) {
+				nbrs, _ := cur.Arcs(v)
+				for _, nb := range nbrs {
 					if nb < begin || nb >= end {
 						n++
 					}
@@ -73,7 +77,7 @@ func ChargeCosts(c *mpi.Comm, h *Hierarchy, boundary [][]int64, rounds, stepsPer
 		// coarse edges plus the boundary halo (the coarse graph stays
 		// distributed; only per-rank shares move).
 		next := &h.Levels[li+1]
-		perRank := 8 * len(next.G.Adjncy) / sub.Size()
+		perRank := 8 * 2 * next.G.NumEdges() / sub.Size()
 		sub.SyncCostParts(
 			m.Latency*log2f(sub.Size())+m.PerByte*float64(perRank+int(boundary[li][r])*8),
 			m.Latency*log2f(sub.Size()),

@@ -151,6 +151,8 @@ func contractBlockedParallel(g *graph.Graph, match []int32, offsets []int32) (*g
 	flags := make([]bool, ncr)
 	hostpar.ForN(int(nCoarse), ncr, func(c, lo, hi int) {
 		sc := contractScratchPool.Get().(*contractScratch)
+		cur := graph.GetCursor(g)
+		defer cur.Release()
 		row := sc.row[:0]
 		out := sc.out[:0]
 		anyNot1 := false
@@ -159,12 +161,13 @@ func contractBlockedParallel(g *graph.Graph, match []int32, offsets []int32) (*g
 			v := toFine[cv]
 			u := match[v]
 			for f := v; ; f = u {
-				for k := g.XAdj[f]; k < g.XAdj[f+1]; k++ {
-					cnb := fineToCoarse[g.Adjncy[k]]
+				nbrs, wgts := cur.Arcs(f)
+				for k, nb := range nbrs {
+					cnb := fineToCoarse[nb]
 					if cnb == int32(cv) {
 						continue
 					}
-					w := g.ArcWeight(k)
+					w := wgts[k]
 					if w != 1 {
 						anyNot1 = true
 					}

@@ -37,13 +37,16 @@ func CheckPartition(g *graph.Graph, part []int32, cut int64, imbalance float64) 
 	// cut edge (u,v) contributes its arc weight to its side-0 endpoint's
 	// count and to its side-1 endpoint's count, so the two must agree.
 	var fromSide [2]int64
+	cur := graph.GetCursor(g)
 	for u := int32(0); u < int32(n); u++ {
-		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
-			if part[g.Adjncy[k]] != part[u] {
-				fromSide[part[u]] += int64(g.ArcWeight(k))
+		nbrs, wgts := cur.Arcs(u)
+		for k, v := range nbrs {
+			if part[v] != part[u] {
+				fromSide[part[u]] += int64(wgts[k])
 			}
 		}
 	}
+	cur.Release()
 	if fromSide[0] != fromSide[1] {
 		return fmt.Errorf("partition invariant: cut counted from side 0 is %d but from side 1 is %d",
 			fromSide[0], fromSide[1])

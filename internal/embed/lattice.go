@@ -271,15 +271,17 @@ func newLevelState(comm *mpi.Comm, lat *Lattice, g *graph.Graph, ownedIDs []int3
 	for i, id := range ownedIDs {
 		local[id] = int32(i)
 	}
+	cur := graph.GetCursor(g)
+	defer cur.Release()
 	s.mass = make([]float64, len(ownedIDs))
 	s.adj = make([][]neighborRef, len(ownedIDs))
 	for i, id := range ownedIDs {
 		s.mass[i] = float64(g.VertexWeight(id))
 		refs := make([]neighborRef, 0, g.Degree(id))
 		isBoundary := false
-		for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
-			nb := g.Adjncy[k]
-			w := float64(g.ArcWeight(k))
+		nbrs, wgts := cur.Arcs(id)
+		for k, nb := range nbrs {
+			w := float64(wgts[k])
 			if li, ok := local[nb]; ok {
 				refs = append(refs, neighborRef{idx: li, w: w})
 				continue

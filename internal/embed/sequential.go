@@ -100,6 +100,8 @@ func smoothLevel(g *graph.Graph, pos []geometry.Vec2, opt SeqOptions, iters int)
 	fp := opt.Force
 	forces := make([]geometry.Vec2, n)
 	if !parallelOn.Load() {
+		cur := graph.GetCursor(g)
+		defer cur.Release()
 		for it := 0; it < iters; it++ {
 			tree := quadtree.Build(pos, mass)
 			energy := 0.0
@@ -109,9 +111,9 @@ func smoothLevel(g *graph.Graph, pos []geometry.Vec2, opt SeqOptions, iters int)
 				tree.ForEachCluster(p, int32(v), opt.Theta, func(com geometry.Vec2, m float64, _ int32) {
 					f = f.Add(fp.Repulsive(p, com, m).Scale(mass[v]))
 				})
-				for k := g.XAdj[v]; k < g.XAdj[v+1]; k++ {
-					w := g.Adjncy[k]
-					f = f.Add(fp.Attractive(p, pos[w]).Scale(float64(g.ArcWeight(k))))
+				nbrs, wgts := cur.Arcs(int32(v))
+				for k, w := range nbrs {
+					f = f.Add(fp.Attractive(p, pos[w]).Scale(float64(wgts[k])))
 				}
 				forces[v] = f
 				energy += f.Dot(f)
@@ -134,15 +136,17 @@ func smoothLevel(g *graph.Graph, pos []geometry.Vec2, opt SeqOptions, iters int)
 	// bodies hoisted out of the loop so steady state allocates nothing.
 	var tree quadtree.Tree
 	forceBody := func(_, lo, hi int) {
+		cur := graph.GetCursor(g)
+		defer cur.Release()
 		for v := lo; v < hi; v++ {
 			var f geometry.Vec2
 			p := pos[v]
 			tree.ForEachCluster(p, int32(v), opt.Theta, func(com geometry.Vec2, m float64, _ int32) {
 				f = f.Add(fp.Repulsive(p, com, m).Scale(mass[v]))
 			})
-			for k := g.XAdj[v]; k < g.XAdj[v+1]; k++ {
-				w := g.Adjncy[k]
-				f = f.Add(fp.Attractive(p, pos[w]).Scale(float64(g.ArcWeight(k))))
+			nbrs, wgts := cur.Arcs(int32(v))
+			for k, w := range nbrs {
+				f = f.Add(fp.Attractive(p, pos[w]).Scale(float64(wgts[k])))
 			}
 			forces[v] = f
 		}

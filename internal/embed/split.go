@@ -33,6 +33,8 @@ func SplitCoords(g *graph.Graph, coords []geometry.Vec2, p int) []*Distributed {
 		owner[v] = r
 		ownedIDs[r] = append(ownedIDs[r], int32(v))
 	}
+	cur := graph.GetCursor(g)
+	defer cur.Release()
 	views := make([]*Distributed, p)
 	for r := 0; r < p; r++ {
 		d := &Distributed{
@@ -47,8 +49,8 @@ func SplitCoords(g *graph.Graph, coords []geometry.Vec2, p int) []*Distributed {
 			d.localSlot[id] = int32(i)
 		}
 		for _, id := range d.OwnedIDs {
-			for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
-				nb := g.Adjncy[k]
+			nbrs, _ := cur.Arcs(id)
+			for _, nb := range nbrs {
 				if owner[nb] == int32(r) {
 					continue
 				}

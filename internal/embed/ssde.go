@@ -128,12 +128,15 @@ func bfs(g *graph.Graph, src int32) []int32 {
 	for i := range d {
 		d[i] = math.MaxInt32
 	}
+	cur := graph.GetCursor(g)
+	defer cur.Release()
 	d[src] = 0
 	queue := []int32{src}
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, nb := range g.Neighbors(v) {
+		nbrs, _ := cur.Arcs(v)
+		for _, nb := range nbrs {
 			if d[nb] == math.MaxInt32 {
 				d[nb] = d[v] + 1
 				queue = append(queue, nb)

@@ -175,42 +175,50 @@ func Circuit(rows, cols int, seed int64) *Generated {
 // BarabasiAlbert builds a preferential-attachment graph: each new
 // vertex attaches to m existing vertices chosen proportionally to
 // degree, giving the heavy-tailed hub structure of infrastructure
-// networks.
+// networks. Edges stream straight into graph.BuildStreamed — no
+// builder staging list is materialised.
 func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
 	if n < m+1 {
 		panic("gen: BarabasiAlbert needs n > m")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
-	// Repeated-endpoint list: sampling uniformly from it is sampling
-	// proportionally to degree.
-	targets := make([]int32, 0, 2*n*m)
-	for v := 0; v < m; v++ {
-		b.AddEdge(int32(v), int32(m))
-		targets = append(targets, int32(v), int32(m))
-	}
-	chosen := make(map[int32]struct{}, m)
-	picks := make([]int32, 0, m)
-	for v := m + 1; v < n; v++ {
-		clear(chosen)
-		picks = picks[:0]
-		for len(chosen) < m {
-			t := targets[rng.Intn(len(targets))]
-			if _, dup := chosen[t]; dup {
-				continue
+	return graph.BuildStreamed(n, baEmit(n, m, seed))
+}
+
+// baEmit is the BarabasiAlbert edge stream. Each invocation replays
+// the identical attachment process from the seed, as BuildStreamed's
+// two passes require.
+func baEmit(n, m int, seed int64) func(add func(u, v, w int32)) {
+	return func(add func(u, v, w int32)) {
+		rng := rand.New(rand.NewSource(seed))
+		// Repeated-endpoint list: sampling uniformly from it is sampling
+		// proportionally to degree.
+		targets := make([]int32, 0, 2*n*m)
+		for v := 0; v < m; v++ {
+			add(int32(v), int32(m), 1)
+			targets = append(targets, int32(v), int32(m))
+		}
+		chosen := make(map[int32]struct{}, m)
+		picks := make([]int32, 0, m)
+		for v := m + 1; v < n; v++ {
+			clear(chosen)
+			picks = picks[:0]
+			for len(chosen) < m {
+				t := targets[rng.Intn(len(targets))]
+				if _, dup := chosen[t]; dup {
+					continue
+				}
+				chosen[t] = struct{}{}
+				picks = append(picks, t)
 			}
-			chosen[t] = struct{}{}
-			picks = append(picks, t)
-		}
-		// Attach in draw order, not map order: ranging over the set made
-		// the target list — and so every later degree-proportional draw,
-		// hence the whole graph — differ from run to run.
-		for _, t := range picks {
-			b.AddEdge(int32(v), t)
-			targets = append(targets, int32(v), t)
+			// Attach in draw order, not map order: ranging over the set made
+			// the target list — and so every later degree-proportional draw,
+			// hence the whole graph — differ from run to run.
+			for _, t := range picks {
+				add(int32(v), t, 1)
+				targets = append(targets, int32(v), t)
+			}
 		}
 	}
-	return b.Build()
 }
 
 // KKTPower builds a KKT-system graph over a power-network base, the
@@ -227,19 +235,29 @@ func KKTPower(nApprox int, seed int64) *Generated {
 	base := BarabasiAlbert(nb, 2, seed)
 	mb := base.NumEdges()
 	n := nb + mb
-	b := graph.NewBuilder(n)
-	next := int32(nb)
-	for u := int32(0); u < int32(nb); u++ {
-		for _, v := range base.Neighbors(u) {
-			if u < v {
-				b.AddEdge(u, v)
-				b.AddEdge(u, next)
-				b.AddEdge(v, next)
-				next++
+	return &Generated{Name: "kkt_power", G: graph.BuildStreamed(n, kktEmit(base, nb))}
+}
+
+// kktEmit streams the KKT construction over a fixed base graph:
+// deterministic by construction (no RNG), so BuildStreamed can replay
+// it.
+func kktEmit(base *graph.Graph, nb int) func(add func(u, v, w int32)) {
+	return func(add func(u, v, w int32)) {
+		cur := graph.GetCursor(base)
+		defer cur.Release()
+		next := int32(nb)
+		for u := int32(0); u < int32(nb); u++ {
+			nbrs, _ := cur.Arcs(u)
+			for _, v := range nbrs {
+				if u < v {
+					add(u, v, 1)
+					add(u, next, 1)
+					add(v, next, 1)
+					next++
+				}
 			}
 		}
 	}
-	return &Generated{Name: "kkt_power", G: b.Build()}
 }
 
 // RandomGeometric builds a random geometric graph: n uniform points in
@@ -303,27 +321,34 @@ func RandomGeometric(n int, radius float64, seed int64) *Generated {
 // coordinate-free workload.
 func RMAT(scale, edgeFactor int, seed int64) *Generated {
 	n := 1 << scale
-	rng := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
-	for k := 0; k < n*edgeFactor; k++ {
-		u, v := 0, 0
-		for bit := 0; bit < scale; bit++ {
-			r := rng.Float64()
-			switch {
-			case r < 0.57:
-			case r < 0.76:
-				v |= 1 << bit
-			case r < 0.95:
-				u |= 1 << bit
-			default:
-				u |= 1 << bit
-				v |= 1 << bit
+	g, _ := LargestComponent(graph.BuildStreamed(n, rmatEmit(scale, edgeFactor, seed)), nil)
+	return &Generated{Name: "rmat", G: g}
+}
+
+// rmatEmit is the R-MAT edge stream: pure per-edge RNG from the seed,
+// replayed identically on each invocation.
+func rmatEmit(scale, edgeFactor int, seed int64) func(add func(u, v, w int32)) {
+	return func(add func(u, v, w int32)) {
+		n := 1 << scale
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < n*edgeFactor; k++ {
+			u, v := 0, 0
+			for bit := 0; bit < scale; bit++ {
+				r := rng.Float64()
+				switch {
+				case r < 0.57:
+				case r < 0.76:
+					v |= 1 << bit
+				case r < 0.95:
+					u |= 1 << bit
+				default:
+					u |= 1 << bit
+					v |= 1 << bit
+				}
+			}
+			if u != v {
+				add(int32(u), int32(v), 1)
 			}
 		}
-		if u != v {
-			b.AddEdge(int32(u), int32(v))
-		}
 	}
-	g, _ := LargestComponent(b.Build(), nil)
-	return &Generated{Name: "rmat", G: g}
 }

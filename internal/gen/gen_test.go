@@ -207,3 +207,46 @@ func TestBarabasiAlbertDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// assertGraphsEqual fails unless a and b are bit-identical CSR graphs.
+func assertGraphsEqual(t *testing.T, name string, want, got *graph.Graph) {
+	t.Helper()
+	if want.NumVertices() != got.NumVertices() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("%s: n=%d m=%d, want n=%d m=%d", name,
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	for i := range want.XAdj {
+		if want.XAdj[i] != got.XAdj[i] {
+			t.Fatalf("%s: XAdj[%d]=%d want %d", name, i, got.XAdj[i], want.XAdj[i])
+		}
+	}
+	for i := range want.Adjncy {
+		if want.Adjncy[i] != got.Adjncy[i] {
+			t.Fatalf("%s: Adjncy[%d]=%d want %d", name, i, got.Adjncy[i], want.Adjncy[i])
+		}
+	}
+	if (want.EWgt == nil) != (got.EWgt == nil) {
+		t.Fatalf("%s: EWgt nil-ness differs", name)
+	}
+}
+
+// TestStreamedGeneratorsMatchBuilder replays each converted generator's
+// emission stream through the legacy Builder and asserts the streamed
+// construction is bit-identical — the conversion to BuildStreamed must
+// not move a single edge.
+func TestStreamedGeneratorsMatchBuilder(t *testing.T) {
+	viaBuilder := func(n int, emit func(add func(u, v, w int32))) *graph.Graph {
+		b := graph.NewBuilder(n)
+		emit(func(u, v, w int32) { b.AddWeightedEdge(u, v, w) })
+		return b.Build()
+	}
+	// RMAT: legacy = Builder over the same stream, then LargestComponent.
+	want, _ := LargestComponent(viaBuilder(1<<10, rmatEmit(10, 8, 7)), nil)
+	assertGraphsEqual(t, "rmat", want, RMAT(10, 8, 7).G)
+	// BarabasiAlbert: direct comparison.
+	assertGraphsEqual(t, "ba", viaBuilder(1500, baEmit(1500, 3, 11)), BarabasiAlbert(1500, 3, 11))
+	// KKTPower: rebuild the derived KKT system with the Builder.
+	base := BarabasiAlbert(1000, 2, 13)
+	n := 1000 + base.NumEdges()
+	assertGraphsEqual(t, "kkt", viaBuilder(n, kktEmit(base, 1000)), KKTPower(3000, 13).G)
+}

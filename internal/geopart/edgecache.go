@@ -79,9 +79,11 @@ func buildEdgeCache(g *graph.Graph, d *embed.Distributed) *edgeCache {
 	ec.cutA = ec.cutA[:0]
 	ec.cutB = ec.cutB[:0]
 	ec.cutW = ec.cutW[:0]
+	cur := graph.GetCursor(g)
+	defer cur.Release()
 	for i, id := range d.OwnedIDs {
-		for e := g.XAdj[id]; e < g.XAdj[id+1]; e++ {
-			nb := g.Adjncy[e]
+		nbrs, wgts := cur.Arcs(id)
+		for e, nb := range nbrs {
 			s := int32(-1)
 			if li, ok := d.LocalSlot(nb); ok {
 				s = li
@@ -92,7 +94,7 @@ func buildEdgeCache(g *graph.Graph, d *embed.Distributed) *edgeCache {
 			if nb > id && s >= 0 {
 				ec.cutA = append(ec.cutA, int32(i))
 				ec.cutB = append(ec.cutB, s)
-				ec.cutW = append(ec.cutW, int64(g.ArcWeight(e)))
+				ec.cutW = append(ec.cutW, int64(wgts[e]))
 			}
 		}
 		ec.start = append(ec.start, int32(len(ec.slot)))

@@ -391,6 +391,8 @@ func evaluateLegacy(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cs *candS
 	}
 	contrib := make([]int64, 3*ncand)
 	sideBuf := make([][]bool, ncand) // per candidate: side of each owned vertex
+	cur := graph.GetCursor(g)
+	defer cur.Release()
 	for k := 0; k < ncand; k++ {
 		mobID := cs.mobOf[k]
 		u, tVal, tID := cs.dirs[k], cs.tVal[k], cs.tID[k]
@@ -408,8 +410,8 @@ func evaluateLegacy(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cs *candS
 			}
 		}
 		for i, id := range d.OwnedIDs {
-			for e := g.XAdj[id]; e < g.XAdj[id+1]; e++ {
-				nb := g.Adjncy[e]
+			nbrs, wgts := cur.Arcs(id)
+			for e, nb := range nbrs {
 				if nb < id {
 					continue // counted by the owner of the smaller id
 				}
@@ -422,7 +424,7 @@ func evaluateLegacy(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cs *candS
 					continue // neither owned nor ghost: not adjacent here
 				}
 				if nbSide != sides[i] {
-					cut += int64(g.ArcWeight(e))
+					cut += int64(wgts[e])
 				}
 			}
 		}

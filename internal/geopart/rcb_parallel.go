@@ -122,9 +122,10 @@ func ParallelRCB(c *mpi.Comm, g *graph.Graph, d *embed.Distributed) *ParallelRes
 				w0 += int64(g.VertexWeight(id))
 			}
 		}
+		cur := graph.GetCursor(g)
 		for i, id := range d.OwnedIDs {
-			for e := g.XAdj[id]; e < g.XAdj[id+1]; e++ {
-				nb := g.Adjncy[e]
+			nbrs, wgts := cur.Arcs(id)
+			for e, nb := range nbrs {
 				if nb < id {
 					continue
 				}
@@ -137,10 +138,11 @@ func ParallelRCB(c *mpi.Comm, g *graph.Graph, d *embed.Distributed) *ParallelRes
 					continue
 				}
 				if nbSide != sides[i] {
-					cut += int64(g.ArcWeight(e))
+					cut += int64(wgts[e])
 				}
 			}
 		}
+		cur.Release()
 	}
 	c.Charge(float64(nOwn) * 3)
 	global := mpi.AllReduceSlice(c, []int64{cut, w0, w1}, 8, mpi.SumInt64)

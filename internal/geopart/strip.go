@@ -96,9 +96,12 @@ func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Parallel
 			}
 			return 0, false
 		}
+		cur := graph.GetCursor(g)
+		defer cur.Release()
 		ringTouchesStrip = func(_ int, id int32) bool {
-			for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
-				if v, ok := valOf(g.Adjncy[k]); ok && inStrip(v) {
+			nbrs, _ := cur.Arcs(id)
+			for _, nb := range nbrs {
+				if v, ok := valOf(nb); ok && inStrip(v) {
 					return true
 				}
 			}

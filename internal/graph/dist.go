@@ -49,13 +49,16 @@ func BoundaryCounts(g *Graph, p int) (boundary, ghosts []int) {
 	n := g.NumVertices()
 	boundary = make([]int, p)
 	ghosts = make([]int, p)
+	cur := GetCursor(g)
+	defer cur.Release()
 	lastSeen := make([]int32, n) // 0 = never; r+1 = counted for rank r
 	for r := 0; r < p; r++ {
 		begin, end := BlockRange(n, p, r)
 		stamp := int32(r + 1)
 		for v := begin; v < end; v++ {
 			isBoundary := false
-			for _, w := range g.Neighbors(int32(v)) {
+			nbrs, _ := cur.Arcs(int32(v))
+			for _, w := range nbrs {
 				if int(w) < begin || int(w) >= end {
 					isBoundary = true
 					if lastSeen[w] != stamp {

@@ -9,6 +9,9 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
+
+	"repro/internal/hostpar"
 )
 
 // Graph is an undirected graph in CSR form. Adjacency lists store each
@@ -20,18 +23,31 @@ import (
 // VWgt and EWgt may be nil, meaning unit weights. When present, EWgt is
 // aligned with Adjncy (the weight of the k-th directed arc), and the
 // two copies of an undirected edge always carry equal weights.
+//
+// A graph may instead carry its adjacency in compressed form: when
+// Packed is non-nil, Adjncy and EWgt are nil and the neighbour lists
+// (plus arc weights, when present) live in Packed's varint block
+// streams. XAdj and VWgt are always plain. Hot loops consume either
+// representation through a Cursor; Compress and Plain convert between
+// them without changing modeled results.
 type Graph struct {
 	XAdj   []int32 // offsets into Adjncy, length NumVertices()+1
-	Adjncy []int32 // concatenated adjacency lists, length 2*NumEdges()
+	Adjncy []int32 // concatenated adjacency lists, nil when Packed
 	VWgt   []int32 // vertex weights, nil for unit
 	EWgt   []int32 // arc weights aligned with Adjncy, nil for unit
+	Packed *CGraph // compressed adjacency; nil for plain CSR
 }
 
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return len(g.XAdj) - 1 }
 
 // NumEdges returns the number of undirected edges.
-func (g *Graph) NumEdges() int { return len(g.Adjncy) / 2 }
+func (g *Graph) NumEdges() int {
+	if len(g.XAdj) == 0 {
+		return 0
+	}
+	return int(g.XAdj[len(g.XAdj)-1]) / 2
+}
 
 // Degree returns the number of neighbours of vertex v.
 func (g *Graph) Degree(v int32) int {
@@ -39,8 +55,17 @@ func (g *Graph) Degree(v int32) int {
 }
 
 // Neighbors returns the adjacency list of v as a shared sub-slice; the
-// caller must not modify it.
+// caller must not modify it. On a compressed graph this decodes a fresh
+// slice per call — cold callers stay correct, hot loops should hold a
+// Cursor instead.
 func (g *Graph) Neighbors(v int32) []int32 {
+	if g.Packed != nil {
+		cur := GetCursor(g)
+		nbrs, _ := cur.Arcs(v)
+		out := append([]int32(nil), nbrs...)
+		cur.Release()
+		return out
+	}
 	return g.Adjncy[g.XAdj[v]:g.XAdj[v+1]]
 }
 
@@ -53,9 +78,13 @@ func (g *Graph) VertexWeight(v int32) int32 {
 }
 
 // ArcWeight returns the weight of the arc at Adjncy index k (1 if
-// unweighted).
+// unweighted). It panics on a weighted compressed graph, where the
+// aligned EWgt array does not exist — use a Cursor there.
 func (g *Graph) ArcWeight(k int32) int32 {
 	if g.EWgt == nil {
+		if g.Packed != nil && g.Packed.weighted {
+			panic("graph: ArcWeight on a weighted compressed graph; use a Cursor")
+		}
 		return 1
 	}
 	return g.EWgt[k]
@@ -85,9 +114,17 @@ func (g *Graph) MaxDegree() int {
 	return mx
 }
 
+// validateGrain is the minimum vertices per parallel Validate chunk.
+const validateGrain = 256
+
 // Validate checks structural invariants: monotone XAdj, in-range
 // neighbour ids, no self-loops, and symmetric adjacency with matching
-// arc weights. It is O(M log M) and intended for tests and after I/O.
+// arc weights. The symmetry check sorts and aggregates each row, then
+// binary-searches the mirror row — the same scheme the readers use —
+// chunked over hostpar instead of the old O(M) directed-arc map. All
+// errors are deterministic: scan errors report the first offending
+// (vertex, arc) in row order, asymmetry reports the smallest (u,v).
+// It is O(M log M) and intended for tests and after I/O.
 func (g *Graph) Validate() error {
 	n := g.NumVertices()
 	if n < 0 {
@@ -101,43 +138,107 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph: XAdj not monotone at vertex %d", v)
 		}
 	}
-	if int(g.XAdj[n]) != len(g.Adjncy) {
-		return fmt.Errorf("graph: XAdj[n]=%d but len(Adjncy)=%d", g.XAdj[n], len(g.Adjncy))
+	if g.Packed == nil {
+		if int(g.XAdj[n]) != len(g.Adjncy) {
+			return fmt.Errorf("graph: XAdj[n]=%d but len(Adjncy)=%d", g.XAdj[n], len(g.Adjncy))
+		}
+		if g.EWgt != nil && len(g.EWgt) != len(g.Adjncy) {
+			return fmt.Errorf("graph: len(EWgt)=%d want %d", len(g.EWgt), len(g.Adjncy))
+		}
 	}
 	if g.VWgt != nil && len(g.VWgt) != n {
 		return fmt.Errorf("graph: len(VWgt)=%d want %d", len(g.VWgt), n)
 	}
-	if g.EWgt != nil && len(g.EWgt) != len(g.Adjncy) {
-		return fmt.Errorf("graph: len(EWgt)=%d want %d", len(g.EWgt), len(g.Adjncy))
-	}
-	// Symmetry check via a weight map of directed arcs.
-	type arc struct{ u, v int32 }
-	seen := make(map[arc]int64, len(g.Adjncy))
-	for u := int32(0); u < int32(n); u++ {
-		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
-			v := g.Adjncy[k]
-			if v < 0 || int(v) >= n {
-				return fmt.Errorf("graph: neighbour %d of vertex %d out of range", v, u)
+	// Pass 1: per-row scan errors (row order) + sorted weight-sum
+	// aggregation of each row at its XAdj offset. Chunks cover
+	// ascending contiguous vertex ranges, so the first non-nil chunk
+	// error is the globally first scan error.
+	m := int(g.XAdj[n])
+	aggNbr := make([]int32, m)
+	aggW := make([]int64, m)
+	aggLen := make([]int32, n+1)
+	nc := hostpar.NumChunks(n, validateGrain)
+	scanErrs := make([]error, nc)
+	hostpar.ForN(n, nc, func(c, lo, hi int) {
+		cur := GetCursor(g)
+		defer cur.Release()
+		var scratch []int64
+		for v := lo; v < hi; v++ {
+			nbrs, wgts := cur.Arcs(int32(v))
+			for _, nb := range nbrs {
+				if nb < 0 || int(nb) >= n {
+					scanErrs[c] = fmt.Errorf("graph: neighbour %d of vertex %d out of range", nb, v)
+					return
+				}
+				if nb == int32(v) {
+					scanErrs[c] = fmt.Errorf("graph: self-loop at vertex %d", v)
+					return
+				}
 			}
-			if v == u {
-				return fmt.Errorf("graph: self-loop at vertex %d", u)
+			scratch = grow(scratch, len(nbrs))
+			for i, nb := range nbrs {
+				scratch[i] = packArc(nb, wgts[i])
 			}
-			seen[arc{u, v}] += int64(g.ArcWeight(k))
+			row := scratch[:len(nbrs)]
+			slices.Sort(row)
+			base := int(g.XAdj[v])
+			cnt := 0
+			for i := 0; i < len(row); {
+				nb := arcTarget(row[i])
+				var sum int64
+				for ; i < len(row) && arcTarget(row[i]) == nb; i++ {
+					sum += int64(arcWeight(row[i]))
+				}
+				aggNbr[base+cnt] = nb
+				aggW[base+cnt] = sum
+				cnt++
+			}
+			aggLen[v] = int32(cnt)
+		}
+	})
+	for _, err := range scanErrs {
+		if err != nil {
+			return err
 		}
 	}
-	for a, w := range seen {
-		if seen[arc{a.v, a.u}] != w {
+	// Pass 2: every aggregated arc must find an equal-sum mirror. Rows
+	// and their neighbours are scanned ascending, so the first miss in
+	// a chunk is the chunk's smallest (u,v); the first chunk with a
+	// miss holds the global minimum.
+	type asym struct{ u, v int32 }
+	misses := make([]*asym, nc)
+	hostpar.ForN(n, nc, func(c, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			base := int(g.XAdj[u])
+			for i := 0; i < int(aggLen[u]); i++ {
+				v := aggNbr[base+i]
+				vb := int(g.XAdj[v])
+				mirror := aggNbr[vb : vb+int(aggLen[v])]
+				j, ok := slices.BinarySearch(mirror, int32(u))
+				if !ok || aggW[vb+j] != aggW[base+i] {
+					misses[c] = &asym{int32(u), v}
+					return
+				}
+			}
+		}
+	})
+	for _, a := range misses {
+		if a != nil {
 			return fmt.Errorf("graph: asymmetric edge {%d,%d}", a.u, a.v)
 		}
 	}
 	return nil
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The compressed payload, when present,
+// is shared: a CGraph is immutable after Compress.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		XAdj:   append([]int32(nil), g.XAdj...),
-		Adjncy: append([]int32(nil), g.Adjncy...),
+		Packed: g.Packed,
+	}
+	if g.Adjncy != nil {
+		c.Adjncy = append([]int32(nil), g.Adjncy...)
 	}
 	if g.VWgt != nil {
 		c.VWgt = append([]int32(nil), g.VWgt...)

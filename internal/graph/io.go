@@ -11,12 +11,16 @@ import (
 
 // WriteMETIS writes g in the METIS graph-file format: a header line
 // "n m [fmt]" followed by one line per vertex listing its 1-based
-// neighbours (and arc weights when the graph is edge-weighted).
+// neighbours (and arc weights when the graph is edge-weighted). Each
+// line is assembled with strconv.AppendInt into a reused scratch
+// buffer — no per-value fmt round trips — so writing keeps pace with
+// the parallel readers. Compressed graphs are written by decoding
+// through a Cursor.
 func WriteMETIS(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<20)
 	n := g.NumVertices()
 	hasVW := g.VWgt != nil
-	hasEW := g.EWgt != nil
+	hasEW := g.EWgt != nil || (g.Packed != nil && g.Packed.weighted)
 	format := ""
 	switch {
 	case hasVW && hasEW:
@@ -26,26 +30,38 @@ func WriteMETIS(w io.Writer, g *Graph) error {
 	case hasEW:
 		format = " 1"
 	}
-	if _, err := fmt.Fprintf(bw, "%d %d%s\n", n, g.NumEdges(), format); err != nil {
+	line := make([]byte, 0, 1<<10)
+	line = strconv.AppendInt(line, int64(n), 10)
+	line = append(line, ' ')
+	line = strconv.AppendInt(line, int64(g.NumEdges()), 10)
+	line = append(line, format...)
+	line = append(line, '\n')
+	if _, err := bw.Write(line); err != nil {
 		return err
 	}
+	cur := GetCursor(g)
+	defer cur.Release()
 	for v := int32(0); v < int32(n); v++ {
+		line = line[:0]
 		first := true
 		if hasVW {
-			fmt.Fprintf(bw, "%d", g.VWgt[v])
+			line = strconv.AppendInt(line, int64(g.VWgt[v]), 10)
 			first = false
 		}
-		for k := g.XAdj[v]; k < g.XAdj[v+1]; k++ {
+		nbrs, wgts := cur.Arcs(v)
+		for i, nb := range nbrs {
 			if !first {
-				bw.WriteByte(' ')
+				line = append(line, ' ')
 			}
 			first = false
-			fmt.Fprintf(bw, "%d", g.Adjncy[k]+1)
+			line = strconv.AppendInt(line, int64(nb)+1, 10)
 			if hasEW {
-				fmt.Fprintf(bw, " %d", g.EWgt[k])
+				line = append(line, ' ')
+				line = strconv.AppendInt(line, int64(wgts[i]), 10)
 			}
 		}
-		if err := bw.WriteByte('\n'); err != nil {
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 	}
@@ -55,8 +71,23 @@ func WriteMETIS(w io.Writer, g *Graph) error {
 // ReadMETIS parses a graph in METIS format. Comment lines starting
 // with '%' are skipped. Supported fmt codes: "", "1" (edge weights),
 // "10" (vertex weights), "11" (both). Multi-constraint vertex weights
-// are not supported.
+// are not supported. Parsing runs on the hostpar-chunked byte-slice
+// path (see io_par.go) unless SetParallelParse disabled it; the two
+// paths produce identical graphs and identical errors.
 func ReadMETIS(r io.Reader) (*Graph, error) {
+	if parallelParse.Load() {
+		data, err := slurp(r)
+		if err != nil {
+			return nil, fmt.Errorf("graph: METIS header: %w", err)
+		}
+		return readMETISBytes(data)
+	}
+	return readMETISSerial(r)
+}
+
+// readMETISSerial is the legacy streaming reader, kept verbatim as the
+// reference the parallel parser is differentially tested against.
+func readMETISSerial(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	line, err := nextDataLine(sc)
@@ -99,7 +130,7 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 	// over packed (from, to) keys replaces a hash set holding every
 	// directed entry.
 	type dirEdge struct{ from, to, w int32 }
-	entries := make([]dirEdge, 0, 2*m)
+	entries := make([]dirEdge, 0, preallocHint(2*m))
 	for v := 0; v < n; v++ {
 		line, err := nextDataLine(sc)
 		if err != nil {
@@ -251,18 +282,27 @@ func nextDataLine(sc *bufio.Scanner) (string, error) {
 // WriteMatrixMarket writes the adjacency structure of g as a symmetric
 // pattern matrix in MatrixMarket coordinate format, the format of the
 // UFL sparse matrix collection the paper draws its test graphs from.
+// Entry lines are assembled with strconv.AppendInt into a reused
+// scratch buffer.
 func WriteMatrixMarket(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<20)
 	n := g.NumVertices()
 	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate pattern symmetric\n%d %d %d\n", n, n, g.NumEdges()); err != nil {
 		return err
 	}
+	cur := GetCursor(g)
+	defer cur.Release()
+	line := make([]byte, 0, 64)
 	for u := int32(0); u < int32(n); u++ {
-		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
-			v := g.Adjncy[k]
+		nbrs, _ := cur.Arcs(u)
+		for _, v := range nbrs {
 			if v < u {
 				// Lower-triangular convention: row > column.
-				if _, err := fmt.Fprintf(bw, "%d %d\n", u+1, v+1); err != nil {
+				line = strconv.AppendInt(line[:0], int64(u)+1, 10)
+				line = append(line, ' ')
+				line = strconv.AppendInt(line, int64(v)+1, 10)
+				line = append(line, '\n')
+				if _, err := bw.Write(line); err != nil {
 					return err
 				}
 			}
@@ -274,8 +314,23 @@ func WriteMatrixMarket(w io.Writer, g *Graph) error {
 // ReadMatrixMarket reads a symmetric sparse matrix in MatrixMarket
 // coordinate format and returns its adjacency graph (diagonal entries
 // dropped, values ignored). General (non-symmetric) matrices are
-// symmetrised.
+// symmetrised. Parsing runs on the hostpar-chunked byte-slice path
+// (see io_par.go) unless SetParallelParse disabled it.
 func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	if parallelParse.Load() {
+		data, err := slurp(r)
+		if err != nil {
+			return nil, err
+		}
+		return readMatrixMarketBytes(data)
+	}
+	return readMatrixMarketSerial(r)
+}
+
+// readMatrixMarketSerial is the legacy streaming reader, kept verbatim
+// as the reference the parallel parser is differentially tested
+// against.
+func readMatrixMarketSerial(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	if !sc.Scan() {
@@ -314,7 +369,7 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 	}
 	symmetric := strings.Contains(header, "symmetric")
 	b := NewBuilder(rows)
-	cells := make([]int64, 0, nnz) // packed (i, j), in file order
+	cells := make([]int64, 0, preallocHint(nnz)) // packed (i, j), in file order
 	for k := 0; k < nnz; k++ {
 		line, err := nextDataLine(sc)
 		if err != nil {
@@ -362,13 +417,22 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 }
 
 // WriteEdgeList writes one "u v" pair per undirected edge (0-based),
-// the lowest-common-denominator exchange format.
+// the lowest-common-denominator exchange format. Lines are assembled
+// with strconv.AppendInt into a reused scratch buffer.
 func WriteEdgeList(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cur := GetCursor(g)
+	defer cur.Release()
+	line := make([]byte, 0, 64)
 	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
-			if v := g.Adjncy[k]; u < v {
-				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+		nbrs, _ := cur.Arcs(u)
+		for _, v := range nbrs {
+			if u < v {
+				line = strconv.AppendInt(line[:0], int64(u), 10)
+				line = append(line, ' ')
+				line = strconv.AppendInt(line, int64(v), 10)
+				line = append(line, '\n')
+				if _, err := bw.Write(line); err != nil {
 					return err
 				}
 			}

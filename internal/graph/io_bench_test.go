@@ -9,45 +9,66 @@ import (
 )
 
 // BenchmarkIORoundTrip serialises a suite-scale graph and parses it
-// back, exercising the sort-based reader validation plus the parallel
-// CSR builder end to end.
+// back. The serial lanes measure the legacy streaming readers; the
+// default lanes measure the byte-slice parallel parsers (the ≥4×
+// throughput acceptance bound compares metis vs metis-serial), and the
+// write lanes pin that the buffered AppendInt writers are not slower
+// than the readers.
 func BenchmarkIORoundTrip(b *testing.B) {
 	g := gen.Grid2D(200, 200).G
-	b.Run("metis", func(b *testing.B) {
-		var buf bytes.Buffer
-		if err := graph.WriteMETIS(&buf, g); err != nil {
-			b.Fatal(err)
+	benchRead := func(data []byte, mm, parallel bool) func(*testing.B) {
+		return func(b *testing.B) {
+			defer graph.SetParallelParse(graph.SetParallelParse(parallel))
+			read := graph.ReadMETIS
+			if mm {
+				read = graph.ReadMatrixMarket
+			}
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := read(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got.NumEdges() != g.NumEdges() {
+					b.Fatalf("edges %d, want %d", got.NumEdges(), g.NumEdges())
+				}
+			}
 		}
-		data := buf.Bytes()
-		b.SetBytes(int64(len(data)))
+	}
+	var metis, mm bytes.Buffer
+	if err := graph.WriteMETIS(&metis, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.WriteMatrixMarket(&mm, g); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("metis", benchRead(metis.Bytes(), false, true))
+	b.Run("metis-serial", benchRead(metis.Bytes(), false, false))
+	b.Run("matrixmarket", benchRead(mm.Bytes(), true, true))
+	b.Run("matrixmarket-serial", benchRead(mm.Bytes(), true, false))
+	b.Run("write-metis", func(b *testing.B) {
+		b.SetBytes(int64(metis.Len()))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			got, err := graph.ReadMETIS(bytes.NewReader(data))
-			if err != nil {
+			var buf bytes.Buffer
+			buf.Grow(metis.Len())
+			if err := graph.WriteMETIS(&buf, g); err != nil {
 				b.Fatal(err)
-			}
-			if got.NumEdges() != g.NumEdges() {
-				b.Fatalf("edges %d, want %d", got.NumEdges(), g.NumEdges())
 			}
 		}
 	})
-	b.Run("matrixmarket", func(b *testing.B) {
-		var buf bytes.Buffer
-		if err := graph.WriteMatrixMarket(&buf, g); err != nil {
-			b.Fatal(err)
-		}
-		data := buf.Bytes()
-		b.SetBytes(int64(len(data)))
+	b.Run("write-matrixmarket", func(b *testing.B) {
+		b.SetBytes(int64(mm.Len()))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			got, err := graph.ReadMatrixMarket(bytes.NewReader(data))
-			if err != nil {
+			var buf bytes.Buffer
+			buf.Grow(mm.Len())
+			if err := graph.WriteMatrixMarket(&buf, g); err != nil {
 				b.Fatal(err)
-			}
-			if got.NumEdges() != g.NumEdges() {
-				b.Fatalf("edges %d, want %d", got.NumEdges(), g.NumEdges())
 			}
 		}
 	})

@@ -8,12 +8,14 @@ func CutSize(g *Graph, part []int32) int64 {
 	if len(part) != g.NumVertices() {
 		panic(fmt.Sprintf("graph: CutSize: len(part)=%d want %d", len(part), g.NumVertices()))
 	}
+	cur := GetCursor(g)
+	defer cur.Release()
 	var cut int64
 	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
-			v := g.Adjncy[k]
+		nbrs, wgts := cur.Arcs(u)
+		for i, v := range nbrs {
 			if u < v && part[u] != part[v] {
-				cut += int64(g.ArcWeight(k))
+				cut += int64(wgts[i])
 			}
 		}
 	}
@@ -78,10 +80,12 @@ func Imbalance2(w0, w1 int64) float64 {
 // SeparatorEdges returns the Adjncy-ordered list of (u,v) pairs with
 // u < v crossing the bisection, i.e. the edge separator S of the paper.
 func SeparatorEdges(g *Graph, part []int32) [][2]int32 {
+	cur := GetCursor(g)
+	defer cur.Release()
 	var sep [][2]int32
 	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
-			v := g.Adjncy[k]
+		nbrs, _ := cur.Arcs(u)
+		for _, v := range nbrs {
 			if u < v && part[u] != part[v] {
 				sep = append(sep, [2]int32{u, v})
 			}
@@ -93,10 +97,13 @@ func SeparatorEdges(g *Graph, part []int32) [][2]int32 {
 // BoundaryVertices returns the vertices incident to at least one cut
 // edge.
 func BoundaryVertices(g *Graph, part []int32) []int32 {
+	cur := GetCursor(g)
+	defer cur.Release()
 	var bnd []int32
 	for u := int32(0); u < int32(g.NumVertices()); u++ {
-		for k := g.XAdj[u]; k < g.XAdj[u+1]; k++ {
-			if part[g.Adjncy[k]] != part[u] {
+		nbrs, _ := cur.Arcs(u)
+		for _, v := range nbrs {
+			if part[v] != part[u] {
 				bnd = append(bnd, u)
 				break
 			}
@@ -113,6 +120,8 @@ func Components(g *Graph) (label []int32, count int) {
 	for i := range label {
 		label[i] = -1
 	}
+	cur := GetCursor(g)
+	defer cur.Release()
 	var stack []int32
 	for s := int32(0); s < int32(n); s++ {
 		if label[s] >= 0 {
@@ -125,7 +134,8 @@ func Components(g *Graph) (label []int32, count int) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, v := range g.Neighbors(u) {
+			nbrs, _ := cur.Arcs(u)
+			for _, v := range nbrs {
 				if label[v] < 0 {
 					label[v] = id
 					stack = append(stack, v)
@@ -145,15 +155,17 @@ func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32) {
 	for i, v := range vertices {
 		toLocal[v] = int32(i)
 	}
+	cur := GetCursor(g)
+	defer cur.Release()
 	b := NewBuilder(len(vertices))
 	for i, v := range vertices {
 		if g.VWgt != nil {
 			b.SetVertexWeight(int32(i), g.VWgt[v])
 		}
-		for k := g.XAdj[v]; k < g.XAdj[v+1]; k++ {
-			w := g.Adjncy[k]
+		nbrs, wgts := cur.Arcs(v)
+		for k, w := range nbrs {
 			if lw, ok := toLocal[w]; ok && v < w {
-				b.AddWeightedEdge(int32(i), lw, g.ArcWeight(k))
+				b.AddWeightedEdge(int32(i), lw, wgts[k])
 			}
 		}
 	}

@@ -28,13 +28,15 @@ func BuildSubproblem(g *graph.Graph, free []int32, sideOf func(int32) int8, side
 	// free set's total degree (an upper bound on internal arcs), so
 	// assembly never reallocates and the lists stay cache-adjacent.
 	arcs := make([]Arc, 0, totalDeg)
+	cur := graph.GetCursor(g)
+	defer cur.Release()
 	for i, id := range free {
 		p.VW[i] = int64(g.VertexWeight(id))
 		p.Side[i] = sideOf(id)
 		start := len(arcs)
-		for k := g.XAdj[id]; k < g.XAdj[id+1]; k++ {
-			nb := g.Adjncy[k]
-			w := int64(g.ArcWeight(k))
+		nbrs, wgts := cur.Arcs(id)
+		for k, nb := range nbrs {
+			w := int64(wgts[k])
 			if li, ok := local[nb]; ok {
 				arcs = append(arcs, Arc{To: li, W: w})
 			} else {
