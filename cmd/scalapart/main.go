@@ -56,6 +56,7 @@ func main() {
 		psFlag      = flag.String("ps", "", "processor sweep for -bench-json (default 1,2,...,1024)")
 		workers     = flag.Int("workers", 0, "host worker pool size for the fork-join coarsening/embedding kernels (0 = one per core)")
 		replayFlag  = flag.String("replay", "goroutine", "rank scheduling: goroutine (one live goroutine per rank) | batched (step at most -workers ranks' compute between communication points)")
+		collFlag    = flag.String("collectives", "fanin", "collective rendezvous engine: fanin (lock-free arrival slots, allocation-free) | legacy (mutex/cond gather-all); results are bit-identical")
 		phaseBreak  = flag.Bool("phase-breakdown", false, "print the per-phase virtual-time and byte-volume breakdown (Section 3.1 cost terms); with -bench-json, embed it per run")
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (timeline axis = virtual clock)")
 		checkInv    = flag.Bool("check-invariants", false, "validate runtime invariants (clock monotonicity, byte symmetry, collective participation) and partition invariants after the run")
@@ -70,6 +71,12 @@ func main() {
 		os.Exit(1)
 	}
 	mpi.SetReplayMode(replay)
+	coll, err := mpi.ParseCollectiveEngine(*collFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalapart:", err)
+		os.Exit(1)
+	}
+	mpi.SetCollectiveEngine(coll)
 	policy, err := core.ParseRecoveryPolicy(*recoverFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalapart:", err)

@@ -185,15 +185,15 @@ func (h *Harness) Get(graphName, method string, p int) *Run {
 }
 
 // envKey fingerprints the process-global and harness-level knobs a run
-// depends on beyond (graph, method, P): the host worker pool and replay
-// scheduler (wall clocks), the batching / parallel-build / embedding /
-// pooling hooks (wall clocks and allocations), the fault plan
-// (everything), and tracing (the Breakdown field). Two Gets with
-// different fingerprints compute independent runs instead of sharing a
-// stale cache entry.
+// depends on beyond (graph, method, P): the host worker pool, replay
+// scheduler and collective engine (wall clocks), the batching /
+// parallel-build / embedding / pooling hooks (wall clocks and
+// allocations), the fault plan (everything), and tracing (the
+// Breakdown field). Two Gets with different fingerprints compute
+// independent runs instead of sharing a stale cache entry.
 func (h *Harness) envKey() string {
-	return fmt.Sprintf("w%d|replay:%s|batch%t|pbuild%t|pembed%t|pool%t|trace%t|compress%t|recover:%s:%d:%d:%d|faults:%s",
-		hostpar.Workers(), mpi.Replay(), geopart.Batching(), graph.ParallelBuild(),
+	return fmt.Sprintf("w%d|replay:%s|coll:%s|batch%t|pbuild%t|pembed%t|pool%t|trace%t|compress%t|recover:%s:%d:%d:%d|faults:%s",
+		hostpar.Workers(), mpi.Replay(), mpi.Collectives(), geopart.Batching(), graph.ParallelBuild(),
 		embed.Parallel(), mpi.PoolingEnabled(), h.Trace, h.Compress,
 		h.Recover.Policy, h.Recover.RetryBudget, h.Recover.MaxRespawns, h.Recover.MaxShrinks,
 		h.Model.Faults.Key())

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -74,45 +75,81 @@ func (e *DeadlockError) Error() string {
 // rank aborted the world; RunChecked swallows it silently.
 type abortSignal struct{}
 
-// Wait kinds for the watchdog's per-rank status.
+// Wait kinds for the watchdog's per-rank status. (There is no send
+// wait: sends are enqueue-and-go on the mailbox rings.)
 const (
-	waitRunning = iota // not blocked (nil waitInfo means the same)
+	waitRunning int32 = iota // not blocked
 	waitRecv
-	waitSend
 	waitColl
 	waitDone
 )
 
-// waitInfo is an immutable snapshot of what a rank is blocked on,
-// published through an atomic pointer so the watchdog can read it
-// without racing the rank. A fresh waitInfo is allocated for every
-// blocking operation, so pointer identity across watchdog samples means
-// "still stuck in the same operation".
-type waitInfo struct {
-	kind  int
-	op    string // "Recv", "Send", "Bcast", "AllReduce", "HaloExchange", ...
-	peer  int    // partner rank for point-to-point ops, -1 otherwise
-	size  int    // communicator size for collectives
-	gen   int64  // collective generation being waited on
-	clock float64
-	phase string
+// waitRec publishes what a rank is blocked on through per-rank atomics,
+// so the watchdog reads it without racing the rank and the rank writes
+// it without allocating (the historical design boxed a fresh waitInfo
+// per blocking operation — an allocation on every park). The seq
+// counter is bumped to odd before a publication and back to even after,
+// seqlock-style: the watchdog treats an odd seq as "changing right
+// now", i.e. not stuck, and uses (seq, kind) equality across samples as
+// "still parked in the same operation". Soundness does not hinge on the
+// seq snapshot alone: every completed blocking op also bumps the
+// world's progress counter, which must stay frozen across the entire
+// watchdog window for a deadlock to be declared.
+type waitRec struct {
+	seq   atomic.Uint64 // odd while a publication is in flight
+	kind  atomic.Int32
+	peer  atomic.Int32
+	size  atomic.Int32
+	gen   atomic.Int64
+	clock atomic.Uint64          // math.Float64bits of the clock at publish
+	op    atomic.Pointer[string] // interned op name; nil when running
+	phase atomic.Pointer[string] // last Comm.SetPhase label
 }
 
-func (wi *waitInfo) describe() string {
-	if wi == nil {
-		return "running"
+func (wr *waitRec) publish(kind int32, op *string, peer, size int32, gen int64, clock float64) {
+	wr.seq.Add(1)
+	wr.kind.Store(kind)
+	wr.op.Store(op)
+	wr.peer.Store(peer)
+	wr.size.Store(size)
+	wr.gen.Store(gen)
+	wr.clock.Store(math.Float64bits(clock))
+	wr.seq.Add(1)
+}
+
+func (wr *waitRec) phaseStr() string {
+	if p := wr.phase.Load(); p != nil {
+		return *p
 	}
-	switch wi.kind {
+	return ""
+}
+
+func (wr *waitRec) clockVal() float64 {
+	return math.Float64frombits(wr.clock.Load())
+}
+
+func (wr *waitRec) describe() string {
+	op := ""
+	if p := wr.op.Load(); p != nil {
+		op = *p
+	}
+	switch wr.kind.Load() {
 	case waitDone:
 		return "done"
 	case waitRecv:
-		return fmt.Sprintf("blocked in %s from rank %d (no matching send)", wi.op, wi.peer)
-	case waitSend:
-		return fmt.Sprintf("blocked in %s to rank %d (inbox full)", wi.op, wi.peer)
+		return fmt.Sprintf("blocked in %s from rank %d (no matching send)", op, wr.peer.Load())
 	case waitColl:
-		return fmt.Sprintf("blocked in collective %s over %d ranks (generation %d incomplete)", wi.op, wi.size, wi.gen)
+		return fmt.Sprintf("blocked in collective %s over %d ranks (generation %d incomplete)", op, wr.size.Load(), wr.gen.Load())
 	}
 	return "running"
+}
+
+// waitSnap is one watchdog sample of a rank's wait record: the seq
+// stamp identifies the publication, so equal snaps across polls mean
+// "still parked in the same operation".
+type waitSnap struct {
+	seq  uint64
+	kind int32
 }
 
 // DefaultWatchdogWindow is the built-in stall window used when neither
@@ -153,10 +190,10 @@ func WatchdogTimeout() time.Duration {
 
 // watchdog polls rank states and aborts the world when it observes a
 // full window with every live rank blocked on the exact same operations
-// (pointer-identical waitInfos) and the global progress counter frozen.
-// Pointer identity makes false positives require a genuinely runnable
-// goroutine to be starved for the entire window across several polls,
-// which the Go scheduler does not do.
+// (identical waitRec seq stamps) and the global progress counter
+// frozen. The seq stamp makes false positives require a genuinely
+// runnable goroutine to be starved for the entire window across several
+// polls, which the Go scheduler does not do.
 func (w *World) watchdog(window time.Duration, stop <-chan struct{}) {
 	interval := window / 4
 	if interval < time.Millisecond {
@@ -164,7 +201,9 @@ func (w *World) watchdog(window time.Duration, stop <-chan struct{}) {
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
-	var prev []*waitInfo
+	prev := make([]waitSnap, w.size)
+	cur := make([]waitSnap, w.size)
+	havePrev := false
 	var prevProgress int64 = -1
 	strikes := 0
 	for {
@@ -176,52 +215,57 @@ func (w *World) watchdog(window time.Duration, stop <-chan struct{}) {
 		if w.aborted.Load() {
 			return
 		}
-		cur := make([]*waitInfo, w.size)
 		blocked, done := 0, 0
-		for i, st := range w.ranks {
-			wi := st.wait.Load()
-			cur[i] = wi
-			if wi == nil {
-				continue
+		for i := range w.ranks {
+			wr := &w.ranks[i].wait
+			seq := wr.seq.Load()
+			kind := wr.kind.Load()
+			if seq%2 != 0 {
+				// Mid-publication: the rank is demonstrably running.
+				kind = waitRunning
 			}
-			switch wi.kind {
+			cur[i] = waitSnap{seq: seq, kind: kind}
+			switch kind {
 			case waitDone:
 				done++
-			default:
+			case waitRecv, waitColl:
 				blocked++
 			}
 		}
 		progress := w.progress.Load()
 		stuck := blocked > 0 && blocked+done == w.size &&
-			progress == prevProgress && sameWaits(cur, prev)
+			progress == prevProgress && havePrev && sameWaits(cur, prev)
 		if stuck {
 			strikes++
 		} else {
 			strikes = 0
 		}
-		prev, prevProgress = cur, progress
+		prev, cur = cur, prev
+		havePrev = true
+		prevProgress = progress
 		if strikes < 4 {
 			continue
 		}
 		// A full window elapsed with the world frozen: dump and abort.
 		dl := &DeadlockError{Window: window, Ranks: make([]RankWait, w.size)}
 		first := -1
-		for i, wi := range cur {
-			rw := RankWait{Rank: i, State: wi.describe()}
-			if wi != nil {
-				rw.Phase = wi.phase
-				rw.Clock = wi.clock
-				rw.Done = wi.kind == waitDone
+		firstPhase := ""
+		for i := range w.ranks {
+			wr := &w.ranks[i].wait
+			rw := RankWait{
+				Rank:  i,
+				Phase: wr.phaseStr(),
+				Clock: wr.clockVal(),
+				State: wr.describe(),
+				Done:  wr.kind.Load() == waitDone,
 			}
 			if !rw.Done && first < 0 {
 				first = i
+				firstPhase = rw.Phase
 			}
 			dl.Ranks[i] = rw
 		}
-		re := &RankError{Rank: first, Err: dl}
-		if first >= 0 && cur[first] != nil {
-			re.Phase = cur[first].phase
-		}
+		re := &RankError{Rank: first, Phase: firstPhase, Err: dl}
 		// Re-check right before aborting: a real rank failure may have
 		// poisoned the world between our sample and now, leaving stale
 		// wait records from the dying generation. The genuine RankError
@@ -234,10 +278,7 @@ func (w *World) watchdog(window time.Duration, stop <-chan struct{}) {
 	}
 }
 
-func sameWaits(a, b []*waitInfo) bool {
-	if len(a) != len(b) {
-		return false
-	}
+func sameWaits(a, b []waitSnap) bool {
 	for i := range a {
 		if a[i] != b[i] {
 			return false

@@ -1,5 +1,7 @@
 package mpi
 
+import "repro/internal/hostpar"
+
 // AllToAllV delivers dest[r] to each rank r and returns the payloads
 // received, indexed by source rank (empty slices where nothing was
 // sent). dest[own rank] is moved across directly. bytesPerElem sizes
@@ -24,7 +26,7 @@ func AllToAllV[T any](c *Comm, dest [][]T, bytesPerElem int) [][]T {
 		if r == c.Rank() || len(d) == 0 {
 			continue
 		}
-		c.sendOp(r, d, bytesPerElem*len(d), "AllToAllV")
+		c.sendOp(r, d, bytesPerElem*len(d), opAllToAllV)
 	}
 	out := make([][]T, p)
 	out[c.Rank()] = dest[c.Rank()]
@@ -32,7 +34,7 @@ func AllToAllV[T any](c *Comm, dest [][]T, bytesPerElem int) [][]T {
 		if r == c.Rank() || recvCounts[r] == 0 {
 			continue
 		}
-		out[r] = c.recvOp(r, "AllToAllV").([]T)
+		out[r] = c.recvOp(r, opAllToAllV).([]T)
 	}
 	return out
 }
@@ -40,6 +42,13 @@ func AllToAllV[T any](c *Comm, dest [][]T, bytesPerElem int) [][]T {
 // exchangeCounts gives every rank the column of the count matrix that
 // is addressed to it: result[src] = how many elements src sends here.
 // Modeled as an all-to-all of one int32 per pair.
+//
+// Host cost: the fan-in engine's combine transposes the whole count
+// matrix once (hostpar-chunked over destinations), so each rank reads
+// its column directly — O(P²) total instead of the legacy O(P) column
+// extraction per rank (O(P²) per rank, O(P³)-ish pressure at P = 1024).
+// The column values are identical either way; the returned slice is
+// shared read-only between ranks on the fan-in path.
 func exchangeCounts(c *Comm, counts []int32) []int32 {
 	m := c.Model()
 	cost := collCost{
@@ -49,19 +58,49 @@ func exchangeCounts(c *Comm, counts []int32) []int32 {
 		to:    m.PerPeer * float64(c.size),
 		bytes: 4 * int64(c.size),
 	}
-	res := c.runCollective("AllToAllV.counts", counts, func(vals []any) any {
-		// vals[src][dst]: build the full matrix once; each rank
-		// extracts its column after the collective.
-		matrix := make([][]int32, len(vals))
-		for i, v := range vals {
-			matrix[i] = v.([]int32)
+	if c.world.legacyColl {
+		res := c.runCollective(opAllToAllVCounts, counts, func(vals []any) any {
+			// vals[src][dst]: build the full matrix once; each rank
+			// extracts its column after the collective.
+			matrix := make([][]int32, len(vals))
+			for i, v := range vals {
+				matrix[i] = v.([]int32)
+			}
+			return matrix
+		}, cost)
+		matrix := res.([][]int32)
+		col := make([]int32, c.size)
+		for src := 0; src < c.size; src++ {
+			col[src] = matrix[src][c.rank]
 		}
-		return matrix
-	}, cost)
-	matrix := res.([][]int32)
-	col := make([]int32, c.size)
-	for src := 0; src < c.size; src++ {
-		col[src] = matrix[src][c.rank]
+		return col
 	}
-	return col
+	res := c.runCollective(opAllToAllVCounts, counts, transposeCounts, cost)
+	return res.([][]int32)[c.rank]
+}
+
+// transposeCounts is the fan-in combine: cols[dst][src] =
+// vals[src][dst], built once by the finisher over one flat backing
+// slab. Each rank's column holds exactly the values the legacy path
+// extracted rank-by-rank.
+func transposeCounts(vals []any) any {
+	p := len(vals)
+	rows := make([][]int32, p)
+	for i, v := range vals {
+		rows[i] = v.([]int32)
+	}
+	flat := make([]int32, p*p)
+	cols := make([][]int32, p)
+	for dst := range cols {
+		cols[dst] = flat[dst*p : (dst+1)*p : (dst+1)*p]
+	}
+	hostpar.ForChunked(p, 64, func(_, lo, hi int) {
+		for dst := lo; dst < hi; dst++ {
+			col := cols[dst]
+			for src := 0; src < p; src++ {
+				col[src] = rows[src][dst]
+			}
+		}
+	})
+	return cols
 }

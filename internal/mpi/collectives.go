@@ -1,8 +1,126 @@
 package mpi
 
+import (
+	"math"
+
+	"repro/internal/geometry"
+)
+
 // Typed collectives. These are package-level generic functions because
 // Go methods cannot be generic; each wraps Comm.runCollective with the
 // standard cost formula for the operation.
+//
+// The reduction-shaped collectives (AllReduce, Reduce) additionally
+// have an allocation-free fast path on the fan-in engine: the hot
+// payload types of the pipeline — float64, int64, int, geometry.Vec2,
+// [3]float64 — are encoded into an inline [4]uint64 slot word instead
+// of boxing through `any`, and the user's operator is applied to the
+// decoded values in exactly the same rank-index order, so the result is
+// bit-identical to the boxed path (TestCollectiveFaninMatchesLegacy
+// pins this). Worlds with a fault plan always box, because injected
+// payload truncation is defined on boxed contributions.
+
+// reduceWords runs a reduction through the word path when the payload
+// type is supported, returning (true, result); (false, _) sends the
+// caller to the boxed path. The operator closures below capture only
+// `f` and do not escape faninWords, so the whole path allocates
+// nothing.
+func reduceWords[T any](c *Comm, op *string, val T, f func(a, b T) T, cost collCost) (bool, T) {
+	switch p := any(&val).(type) {
+	case *float64:
+		g, ok := any(f).(func(float64, float64) float64)
+		if !ok {
+			return false, val
+		}
+		var w [4]uint64
+		w[0] = math.Float64bits(*p)
+		res := c.faninWords(op, w, func(acc, v [4]uint64) [4]uint64 {
+			acc[0] = math.Float64bits(g(math.Float64frombits(acc[0]), math.Float64frombits(v[0])))
+			return acc
+		}, cost)
+		*p = math.Float64frombits(res[0])
+		return true, val
+	case *int64:
+		g, ok := any(f).(func(int64, int64) int64)
+		if !ok {
+			return false, val
+		}
+		var w [4]uint64
+		w[0] = uint64(*p)
+		res := c.faninWords(op, w, func(acc, v [4]uint64) [4]uint64 {
+			acc[0] = uint64(g(int64(acc[0]), int64(v[0])))
+			return acc
+		}, cost)
+		*p = int64(res[0])
+		return true, val
+	case *int:
+		g, ok := any(f).(func(int, int) int)
+		if !ok {
+			return false, val
+		}
+		var w [4]uint64
+		w[0] = uint64(int64(*p))
+		res := c.faninWords(op, w, func(acc, v [4]uint64) [4]uint64 {
+			acc[0] = uint64(int64(g(int(int64(acc[0])), int(int64(v[0])))))
+			return acc
+		}, cost)
+		*p = int(int64(res[0]))
+		return true, val
+	case *geometry.Vec2:
+		g, ok := any(f).(func(geometry.Vec2, geometry.Vec2) geometry.Vec2)
+		if !ok {
+			return false, val
+		}
+		var w [4]uint64
+		w[0] = math.Float64bits(p.X)
+		w[1] = math.Float64bits(p.Y)
+		res := c.faninWords(op, w, func(acc, v [4]uint64) [4]uint64 {
+			r := g(geometry.Vec2{X: math.Float64frombits(acc[0]), Y: math.Float64frombits(acc[1])},
+				geometry.Vec2{X: math.Float64frombits(v[0]), Y: math.Float64frombits(v[1])})
+			acc[0] = math.Float64bits(r.X)
+			acc[1] = math.Float64bits(r.Y)
+			return acc
+		}, cost)
+		p.X = math.Float64frombits(res[0])
+		p.Y = math.Float64frombits(res[1])
+		return true, val
+	case *[3]float64:
+		g, ok := any(f).(func([3]float64, [3]float64) [3]float64)
+		if !ok {
+			return false, val
+		}
+		var w [4]uint64
+		w[0] = math.Float64bits(p[0])
+		w[1] = math.Float64bits(p[1])
+		w[2] = math.Float64bits(p[2])
+		res := c.faninWords(op, w, func(acc, v [4]uint64) [4]uint64 {
+			r := g(
+				[3]float64{math.Float64frombits(acc[0]), math.Float64frombits(acc[1]), math.Float64frombits(acc[2])},
+				[3]float64{math.Float64frombits(v[0]), math.Float64frombits(v[1]), math.Float64frombits(v[2])})
+			acc[0] = math.Float64bits(r[0])
+			acc[1] = math.Float64bits(r[1])
+			acc[2] = math.Float64bits(r[2])
+			return acc
+		}, cost)
+		p[0] = math.Float64frombits(res[0])
+		p[1] = math.Float64frombits(res[1])
+		p[2] = math.Float64frombits(res[2])
+		return true, val
+	}
+	return false, val
+}
+
+// reduceBoxed is the shared boxed path of AllReduce and Reduce.
+func reduceBoxed[T any](c *Comm, op *string, val T, f func(a, b T) T, cost collCost) T {
+	res := c.runCollective(op, val, func(vals []any) any {
+		acc := vals[0].(T)
+		for _, v := range vals[1:] {
+			acc = f(acc, v.(T))
+		}
+		return acc
+	}, cost)
+	return res.(T)
+}
 
 // AllReduce combines one value per rank with the associative op
 // (applied in rank order) and returns the result to every rank. bytes
@@ -17,14 +135,12 @@ func AllReduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 		tw:    2 * m.PerByte * float64(bytes) * lg,
 		bytes: int64(bytes),
 	}
-	res := c.runCollective("AllReduce", val, func(vals []any) any {
-		acc := vals[0].(T)
-		for _, v := range vals[1:] {
-			acc = op(acc, v.(T))
+	if c.wordsEligible() {
+		if done, out := reduceWords(c, opAllReduce, val, op, cost); done {
+			return out
 		}
-		return acc
-	}, cost)
-	return res.(T)
+	}
+	return reduceBoxed(c, opAllReduce, val, op, cost)
 }
 
 // Reduce is AllReduce delivered to all ranks but charged at reduce-tree
@@ -40,14 +156,12 @@ func Reduce[T any](c *Comm, val T, bytes int, op func(a, b T) T) T {
 		tw:    m.PerByte * float64(bytes) * lg,
 		bytes: int64(bytes),
 	}
-	res := c.runCollective("Reduce", val, func(vals []any) any {
-		acc := vals[0].(T)
-		for _, v := range vals[1:] {
-			acc = op(acc, v.(T))
+	if c.wordsEligible() {
+		if done, out := reduceWords(c, opReduce, val, op, cost); done {
+			return out
 		}
-		return acc
-	}, cost)
-	return res.(T)
+	}
+	return reduceBoxed(c, opReduce, val, op, cost)
 }
 
 // AllReduceSlice element-wise combines equal-length slices across
@@ -62,7 +176,7 @@ func AllReduceSlice[T any](c *Comm, vals []T, bytesPerElem int, op func(a, b T) 
 		tw:    2 * m.PerByte * float64(b) * lg,
 		bytes: int64(b),
 	}
-	res := c.runCollective("AllReduceSlice", vals, func(contribs []any) any {
+	res := c.runCollective(opAllReduceSlice, vals, func(contribs []any) any {
 		first := contribs[0].([]T)
 		acc := append([]T(nil), first...)
 		for _, cv := range contribs[1:] {
@@ -90,7 +204,7 @@ func AllGather[T any](c *Comm, val T, bytes int) []T {
 		tw:    m.PerByte * float64(bytes) * float64(c.size-1),
 		bytes: int64(bytes),
 	}
-	res := c.runCollective("AllGather", val, func(vals []any) any {
+	res := c.runCollective(opAllGather, val, func(vals []any) any {
 		out := make([]T, len(vals))
 		for i, v := range vals {
 			out[i] = v.(T)
@@ -119,7 +233,7 @@ func AllGatherV[T any](c *Comm, vals []T, bytesPerElem int) [][]T {
 		tw:    m.PerByte * float64(total),
 		bytes: int64(total),
 	}
-	res := c.runCollective("AllGatherV", vals, func(contribs []any) any {
+	res := c.runCollective(opAllGatherV, vals, func(contribs []any) any {
 		out := make([][]T, len(contribs))
 		for i, v := range contribs {
 			out[i] = v.([]T)

@@ -1,0 +1,64 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// CollectiveEngine selects the rendezvous implementation behind every
+// collective (Barrier, Bcast, AllReduce*, AllGather*, SyncCost*, the
+// AllToAllV count exchange). Like the batching / parallel-build /
+// replay-mode hooks before it, the engine is a pure host-performance
+// knob: modeled clocks, combine order, traffic, and fault positions are
+// identical under both engines by construction, and
+// TestCollectiveFaninMatchesLegacy pins that bit-for-bit up to
+// P = 1024.
+type CollectiveEngine int32
+
+const (
+	// CollectivesFanin is the default high-P engine: per-rank
+	// generation-stamped arrival slots with inline (unboxed) storage for
+	// the hot reduction payloads, one rank-index-ordered combine by the
+	// final arriver with hostpar-chunked scans at large P, and a
+	// token-broadcast wake that never reacquires the rendezvous lock.
+	// Steady-state collectives allocate nothing.
+	CollectivesFanin CollectiveEngine = iota
+	// CollectivesLegacy is the historical engine kept for differential
+	// tests and benchmarks: contributions box through `any` into a
+	// shared slot array under one mutex, and completion broadcasts a
+	// sync.Cond every waiter reacquires serially.
+	CollectivesLegacy
+)
+
+func (e CollectiveEngine) String() string {
+	if e == CollectivesLegacy {
+		return "legacy"
+	}
+	return "fanin"
+}
+
+// ParseCollectiveEngine parses a -collectives flag value.
+func ParseCollectiveEngine(s string) (CollectiveEngine, error) {
+	switch s {
+	case "", "fanin":
+		return CollectivesFanin, nil
+	case "legacy":
+		return CollectivesLegacy, nil
+	}
+	return 0, fmt.Errorf("unknown collective engine %q (want fanin or legacy)", s)
+}
+
+// collEngine is the process-wide setting, sampled once per world at
+// RunChecked; a world never changes engine mid-run.
+var collEngine atomic.Int32
+
+// SetCollectiveEngine selects the engine for subsequent worlds and
+// returns the previous setting. Mirrors SetReplayMode: a process-global
+// host-performance knob that must never change modeled results.
+func SetCollectiveEngine(e CollectiveEngine) CollectiveEngine {
+	return CollectiveEngine(collEngine.Swap(int32(e)))
+}
+
+// Collectives returns the current collective engine. Cache keys that
+// fingerprint process-global knobs read it.
+func Collectives() CollectiveEngine { return CollectiveEngine(collEngine.Load()) }

@@ -1,0 +1,122 @@
+package mpi
+
+import "sync"
+
+// The legacy collective engine (CollectivesLegacy), kept verbatim for
+// differential tests and benchmarks: every rank boxes its contribution
+// into a shared slot array under one mutex, the last arriver combines
+// and broadcasts a sync.Cond, and every waiter reacquires the mutex on
+// wake. O(P) serialized lock handoffs and O(P) boxing allocations per
+// collective — the cost the fan-in engine exists to remove.
+// TestCollectiveFaninMatchesLegacy runs both engines over the same
+// bodies and requires bit-identical results, clocks, and traffic.
+
+// collective is the legacy generation-counted rendezvous for the first
+// `size` ranks of the world.
+type collective struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	size   int
+	gen    int64
+	count  int
+	vals   []any
+	clocks []float64
+	costs  []float64
+	result any
+	done   float64 // clock at which the current generation completes
+}
+
+func newCollective(size int) *collective {
+	c := &collective{
+		size:   size,
+		vals:   make([]any, size),
+		clocks: make([]float64, size),
+		costs:  make([]float64, size),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// legacyFor returns the legacy rendezvous for a communicator size,
+// creating it on first use.
+func (w *World) legacyFor(size int) *collective {
+	w.collMu.Lock()
+	if w.colls == nil {
+		w.colls = make(map[int]*collective)
+	}
+	coll, ok := w.colls[size]
+	if !ok {
+		coll = newCollective(size)
+		w.colls[size] = coll
+	}
+	w.collMu.Unlock()
+	return coll
+}
+
+// legacyCollective performs the historical mutex+cond rendezvous; see
+// runCollective for the contract. The body is unchanged from the
+// pre-fanin implementation.
+func (c *Comm) legacyCollective(op *string, val any, combine func(vals []any) any, cost collCost, t0 float64) any {
+	coll := c.world.legacyFor(c.size)
+	coll.mu.Lock()
+	myGen := coll.gen
+	coll.vals[c.rank] = val
+	coll.clocks[c.rank] = c.state.clock
+	coll.costs[c.rank] = cost.total
+	coll.count++
+	if coll.count == coll.size {
+		mx := coll.clocks[0]
+		for _, t := range coll.clocks[1:] {
+			if t > mx {
+				mx = t
+			}
+		}
+		// The charged cost is the maximum any rank declared, so
+		// asymmetric byte counts (e.g. a broadcast whose non-roots do
+		// not know the payload size) stay deterministic.
+		mc := coll.costs[0]
+		for _, cc := range coll.costs[1:] {
+			if cc > mc {
+				mc = cc
+			}
+		}
+		// combine is user code and may panic (e.g. on a truncated
+		// contribution); it must not take the collective's mutex down
+		// with it, or the waiters could never be woken by the abort.
+		res, perr := safeCombine(combine, coll.vals)
+		if perr != nil {
+			coll.mu.Unlock()
+			panic(perr)
+		}
+		coll.result = res
+		coll.done = mx + mc
+		coll.count = 0
+		coll.gen++
+		coll.cond.Broadcast()
+	} else {
+		// Waiting for the rest of the communicator: later arrivals need
+		// compute slots to reach this collective, so give ours up before
+		// parking (releaseSlot never blocks, so holding coll.mu is fine).
+		c.releaseSlot()
+		c.beginWait(waitColl, op, -1, coll.size, myGen)
+		for coll.gen == myGen {
+			if c.world.aborted.Load() {
+				coll.mu.Unlock()
+				// Clear the stale "blocked in collective gen N" record
+				// before tearing down: the generation is dead and the
+				// watchdog must not dump it as a deadlock.
+				c.endWait()
+				panic(abortSignal{})
+			}
+			coll.cond.Wait()
+		}
+		c.endWait()
+	}
+	res, done := coll.result, coll.done
+	coll.mu.Unlock()
+	// Reacquire outside the collective's mutex: a full gate must not
+	// hold the rendezvous lock hostage.
+	c.acquireSlot()
+	c.collCharge(op, myGen, cost, t0, done)
+	return res
+}

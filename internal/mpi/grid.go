@@ -87,11 +87,11 @@ func HaloExchange(c *Comm, g Grid, payload []any, bytes []int) []any {
 		panic("mpi: HaloExchange payload count must match neighbour count")
 	}
 	for i, nb := range nbrs {
-		c.sendOp(nb, payload[i], bytes[i], "HaloExchange")
+		c.sendOp(nb, payload[i], bytes[i], opHaloExchange)
 	}
 	out := make([]any, len(nbrs))
 	for i, nb := range nbrs {
-		out[i] = c.recvOp(nb, "HaloExchange")
+		out[i] = c.recvOp(nb, opHaloExchange)
 	}
 	return out
 }

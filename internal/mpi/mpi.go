@@ -22,10 +22,21 @@
 // source", so clocks and algorithm outputs are independent of the Go
 // scheduler.
 //
+// Host scaling: the hot paths are O(P) total, not O(P²). Per-rank state
+// lives in slab-backed arenas (one rankState slice, one Comm slice, one
+// mailbox slab), point-to-point delivery uses growable message rings
+// with O(1) dequeue instead of per-receiver channels with O(P) buffers,
+// and collectives rendezvous through generation-stamped arrival slots
+// combined once by the last arriver (see collfanin.go; the historical
+// mutex+cond engine is kept behind SetCollectiveEngine for differential
+// testing). All of it is host-side only: modeled clocks, combine order,
+// and traffic are bit-identical across engines, replay modes, and
+// worker counts.
+//
 // Failure semantics: the runtime is a failure domain, not just a
 // simulator. A rank that panics (or is killed by an injected fault, see
-// FaultPlan) poisons the world: every other rank blocked in a receive,
-// send, or collective is woken and torn down, and RunChecked returns a
+// FaultPlan) poisons the world: every other rank blocked in a receive
+// or collective is woken and torn down, and RunChecked returns a
 // structured RankError instead of hanging or re-panicking. A stall with
 // every live rank blocked and no progress (a genuine deadlock: a
 // receive with no matching send, a collective a dead rank will never
@@ -138,32 +149,62 @@ type message struct {
 	bytes   int64   // modeled payload size (trace/invariant bookkeeping)
 }
 
+// Interned operation names: blocking paths publish the op to the
+// watchdog through an atomic pointer, and a package-level *string makes
+// that publication allocation-free.
+func internOp(s string) *string { return &s }
+
+var (
+	opSend             = internOp("Send")
+	opRecv             = internOp("Recv")
+	opSendVec          = internOp("SendVec")
+	opRecvVec          = internOp("RecvVec")
+	opNeighborExchange = internOp("NeighborExchange")
+	opHaloExchange     = internOp("HaloExchange")
+	opBarrier          = internOp("Barrier")
+	opBcast            = internOp("Bcast")
+	opSyncCost         = internOp("SyncCost")
+	opAllReduce        = internOp("AllReduce")
+	opReduce           = internOp("Reduce")
+	opAllReduceSlice   = internOp("AllReduceSlice")
+	opAllGather        = internOp("AllGather")
+	opAllGatherV       = internOp("AllGatherV")
+	opAllToAllV        = internOp("AllToAllV")
+	opAllToAllVCounts  = internOp("AllToAllV.counts")
+	phaseRestore       = internOp("restore")
+)
+
 // rankState is the per-rank mutable state shared by all Comms of that
-// rank (full communicator and sub-communicators alike). Point-to-point
-// delivery uses one buffered inbox per receiver (not one channel per
-// rank pair, which is quadratic in P); messages are matched to explicit
-// sources through the pending queues, which only the owning goroutine
-// touches.
+// rank (full communicator and sub-communicators alike). All rankStates
+// of a world live in one slab (World.ranks), and their initial mailbox
+// rings are carved from a second slab, so spinning up P ranks costs a
+// handful of arena allocations instead of O(P) heap graphs of small
+// objects. Point-to-point delivery uses one mailbox ring per receiver
+// (not one channel per rank pair, nor an O(P)-buffered channel per
+// rank, both quadratic in P); messages are matched to explicit sources
+// through the pending rings, which only the owning goroutine touches.
 type rankState struct {
 	clock     float64
 	commTime  float64
 	bytesSent int64
 	messages  int64
-	inbox     chan message
-	pending   map[int][]message
+
+	box     mailbox          // incoming messages, appended by senders
+	wake    chan struct{}    // cap-1 token: "something you may wait on changed"
+	pending map[int]*msgRing // per-source out-of-order queues; owner-only, lazy
 
 	events int64  // communication events so far (fault-plan positions)
 	phase  string // set via Comm.SetPhase; read only by the owning goroutine
-	wait   atomic.Pointer[waitInfo]
+	wait   waitRec
 
 	// slotHeld tracks whether this rank currently holds a batched-replay
 	// compute slot (see replay.go); owning goroutine only.
 	slotHeld bool
 
-	// Per-link sequence counters of the reliability layer, allocated only
-	// when Model.Reliable is set: seqTo[r] numbers the next send to rank
-	// r, seqFrom[r] the next expected receive from rank r. Pure
-	// bookkeeping — never charged to clocks.
+	// Per-link sequence counters of the reliability layer, carved from
+	// one slab only when Model.Reliable is set: seqTo[r] numbers the next
+	// send to rank r, seqFrom[r] the next expected receive from rank r.
+	// Pure bookkeeping — never charged to clocks.
 	seqTo   []int64
 	seqFrom []int64
 
@@ -176,10 +217,19 @@ type World struct {
 	size  int
 	model Model
 
-	collMu sync.Mutex
-	colls  map[int]*collective // keyed by communicator size
+	// legacyColl is the collective engine sampled at RunChecked: false
+	// selects the fan-in engine (collfanin.go), true the historical
+	// mutex+cond engine (colllegacy.go). A world never changes engine
+	// mid-run.
+	legacyColl bool
 
-	ranks []*rankState
+	collMu    sync.Mutex
+	colls     map[int]*collective // legacy rendezvous, keyed by communicator size
+	fcolls    map[int]*faninColl  // fan-in rendezvous for sub-communicator sizes
+	worldColl *faninColl          // fan-in rendezvous for the full communicator
+
+	ranks []rankState // the rank arena: one slab, indexed by rank
+	comms []Comm      // the Comm arena: one slab, indexed by rank
 
 	// gate is the batched-replay admission gate (nil in goroutine mode):
 	// a buffered channel holding one token per concurrently runnable
@@ -193,31 +243,8 @@ type World struct {
 	progress  atomic.Int64 // bumps whenever any rank completes a blocking op
 }
 
-// collective is a reusable generation-counted rendezvous for the first
-// `size` ranks of the world.
-type collective struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	size   int
-	gen    int64
-	count  int
-	vals   []any
-	clocks []float64
-	costs  []float64
-	result any
-	done   float64 // clock at which the current generation completes
-}
-
-func newCollective(size int) *collective {
-	c := &collective{
-		size:   size,
-		vals:   make([]any, size),
-		clocks: make([]float64, size),
-		costs:  make([]float64, size),
-	}
-	c.cond = sync.NewCond(&c.mu)
-	return c
-}
+// rankPtr returns the rank's state in the arena.
+func (w *World) rankPtr(r int) *rankState { return &w.ranks[r] }
 
 // Run executes body on p simulated ranks and returns their stats in
 // rank order. body must communicate only through the provided Comm.
@@ -236,10 +263,10 @@ func Run(p int, model Model, body func(*Comm)) []RankStats {
 // RunChecked executes body on p simulated ranks and returns their stats
 // in rank order. Unlike Run it never panics on rank failure and never
 // hangs: a panicking rank is converted into a poison message that
-// unblocks every other rank (receives, sends, and in-flight
-// collectives), all goroutines are joined, and the failure comes back
-// as a *RankError identifying the rank, its phase (Comm.SetPhase), and
-// the cause. A stalled world (every live rank blocked, no progress for
+// unblocks every other rank (receives and in-flight collectives), all
+// goroutines are joined, and the failure comes back as a *RankError
+// identifying the rank, its phase (Comm.SetPhase), and the cause. A
+// stalled world (every live rank blocked, no progress for
 // Model.Watchdog) is aborted by the watchdog with a *DeadlockError
 // wrapped in the returned *RankError. The returned stats are the
 // clocks at teardown — complete for fault-free runs, partial otherwise.
@@ -248,47 +275,57 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 		panic("mpi: Run with non-positive size")
 	}
 	w := &World{
-		size:    p,
-		model:   model,
-		colls:   make(map[int]*collective),
-		ranks:   make([]*rankState, p),
-		abortCh: make(chan struct{}),
+		size:       p,
+		model:      model,
+		legacyColl: Collectives() == CollectivesLegacy,
+		abortCh:    make(chan struct{}),
 	}
 	w.gate = newStepGate(p)
-	// Inbox capacity must cover the worst transient backlog: every other
-	// rank sending twice (two pipelined exchange phases) before this
-	// rank drains.
-	capacity := 2*p + 64
+	if !w.legacyColl {
+		w.worldColl = newFaninColl(p)
+	}
 	var traces []*trace.RankTrace
 	if model.Trace != nil {
 		traces = model.Trace.Attach(p)
 	}
+	// The rank arena: every per-rank object that scales with P comes out
+	// of a world-wide slab — the rankStates themselves, their Comms,
+	// their initial mailbox rings, and (when reliable) the per-link
+	// sequence counters. Only the cap-1 wake channels remain individual
+	// allocations, O(P) total.
+	w.ranks = make([]rankState, p)
+	w.comms = make([]Comm, p)
+	ringSlab := make([]message, p*mailboxSlabCap)
+	var seqSlab []int64
+	if model.Reliable != nil {
+		seqSlab = make([]int64, 2*p*p)
+	}
 	for i := range w.ranks {
-		w.ranks[i] = &rankState{
-			inbox:   make(chan message, capacity),
-			pending: make(map[int][]message),
-		}
-		if model.Reliable != nil {
-			w.ranks[i].seqTo = make([]int64, p)
-			w.ranks[i].seqFrom = make([]int64, p)
+		st := &w.ranks[i]
+		st.box.q.buf = ringSlab[i*mailboxSlabCap : (i+1)*mailboxSlabCap : (i+1)*mailboxSlabCap]
+		st.wake = make(chan struct{}, 1)
+		if seqSlab != nil {
+			st.seqTo = seqSlab[2*i*p : (2*i+1)*p : (2*i+1)*p]
+			st.seqFrom = seqSlab[(2*i+1)*p : (2*i+2)*p : (2*i+2)*p]
 		}
 		if traces != nil {
-			w.ranks[i].tr = traces[i]
+			st.tr = traces[i]
 		}
+		w.comms[i] = Comm{world: w, rank: i, size: p, state: st}
 	}
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
-			st := w.ranks[rank]
-			comm := &Comm{world: w, rank: rank, size: p, state: st}
+			comm := &w.comms[rank]
+			st := comm.state
 			defer wg.Done()
 			defer func() {
 				e := recover()
 				// A finished (or dying) rank must hand its batched-replay
 				// compute slot on, whatever path got it here.
 				comm.releaseSlot()
-				st.wait.Store(&waitInfo{kind: waitDone, clock: st.clock, phase: st.phase})
+				st.wait.publish(waitDone, nil, 0, 0, 0, st.clock)
 				w.progress.Add(1)
 				if st.tr != nil {
 					st.tr.Finish(st.clock, st.commTime, st.bytesSent)
@@ -322,27 +359,32 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 	if stopWatchdog != nil {
 		close(stopWatchdog)
 	}
-	// A faulted teardown can strand in-flight pooled payloads in inboxes
-	// and pending queues; return them to their pools so long fault sweeps
-	// keep the pooling ledger balanced (see PoolBalance).
-	for _, st := range w.ranks {
-	drain:
+	// A faulted teardown can strand in-flight pooled payloads in
+	// mailboxes and pending rings; return them to their pools so long
+	// fault sweeps keep the pooling ledger balanced (see PoolBalance).
+	// All goroutines are joined, so the rings need no locks here.
+	for i := range w.ranks {
+		st := &w.ranks[i]
 		for {
-			select {
-			case m := <-st.inbox:
-				releasePayload(m.data)
-			default:
-				break drain
+			m, ok := st.box.q.pop()
+			if !ok {
+				break
 			}
+			releasePayload(m.data)
 		}
 		for _, q := range st.pending {
-			for _, m := range q {
+			for {
+				m, ok := q.pop()
+				if !ok {
+					break
+				}
 				releasePayload(m.data)
 			}
 		}
 	}
 	stats := make([]RankStats, p)
-	for r, st := range w.ranks {
+	for r := range w.ranks {
+		st := &w.ranks[r]
 		stats[r] = RankStats{
 			Rank:      r,
 			Time:      st.clock,
@@ -359,10 +401,10 @@ func RunChecked(p int, model Model, body func(*Comm)) ([]RankStats, error) {
 }
 
 // abort poisons the world exactly once: the error is recorded, the
-// abort channel unblocks every rank parked in a Send or Recv select,
-// and every collective is broadcast so cond-waiters wake, observe the
-// abort, and tear down. Must not be called while holding a collective's
-// mutex.
+// abort channel unblocks every rank parked in a receive or fan-in
+// collective select, and every legacy collective is broadcast so
+// cond-waiters wake, observe the abort, and tear down. Must not be
+// called while holding a collective's mutex.
 func (w *World) abort(err *RankError) {
 	w.abortOnce.Do(func() {
 		w.abortErr.Store(err)
@@ -373,24 +415,25 @@ func (w *World) abort(err *RankError) {
 		for _, coll := range w.colls {
 			colls = append(colls, coll)
 		}
+		fcolls := make([]*faninColl, 0, len(w.fcolls)+1)
+		if w.worldColl != nil {
+			fcolls = append(fcolls, w.worldColl)
+		}
+		for _, fc := range w.fcolls {
+			fcolls = append(fcolls, fc)
+		}
 		w.collMu.Unlock()
 		for _, coll := range colls {
 			coll.mu.Lock()
 			coll.cond.Broadcast()
 			coll.mu.Unlock()
 		}
+		for _, fc := range fcolls {
+			fc.mu.Lock()
+			fc.cond.Broadcast()
+			fc.mu.Unlock()
+		}
 	})
-}
-
-func (w *World) collectiveFor(size int) *collective {
-	w.collMu.Lock()
-	c, ok := w.colls[size]
-	if !ok {
-		c = newCollective(size)
-		w.colls[size] = c
-	}
-	w.collMu.Unlock()
-	return c
 }
 
 // Comm is one rank's handle on a communicator. The zero value is not
@@ -461,6 +504,7 @@ func (c *Comm) Restore(s RankSnapshot) {
 	st.messages = s.Messages
 	st.events = s.Events
 	st.phase = "restore"
+	st.wait.phase.Store(phaseRestore)
 	if st.tr != nil {
 		st.tr.RestoreMark(s.Clock, s.Events)
 	}
@@ -476,6 +520,7 @@ func (c *Comm) SetPhase(name string) {
 		st.tr.PhaseChange(name, st.clock, st.commTime, st.bytesSent)
 	}
 	st.phase = name
+	st.wait.phase.Store(&name)
 }
 
 // Phase returns the current phase label.
@@ -498,13 +543,13 @@ func (c *Comm) Abort(err error) {
 // counter, raises a scheduled kill fault, and returns any other fault
 // scheduled for this position. Pure bookkeeping — clocks are untouched,
 // so fault-free ranks keep bit-identical timings.
-func (c *Comm) commEvent(op string) *Fault {
+func (c *Comm) commEvent(op *string) *Fault {
 	ev := c.state.events
 	c.state.events++
 	f := c.world.model.Faults.at(c.rank, ev)
 	if f != nil {
 		if c.state.tr != nil {
-			c.state.tr.Fault(f.Kind.String(), op, ev, c.state.clock)
+			c.state.tr.Fault(f.Kind.String(), *op, ev, c.state.clock)
 		}
 		if f.Kind == KillRank {
 			panic(&InjectedFault{Rank: c.rank, Event: ev})
@@ -514,16 +559,15 @@ func (c *Comm) commEvent(op string) *Fault {
 }
 
 // beginWait publishes what this rank is about to block on; endWait
-// clears it and bumps the world progress counter.
-func (c *Comm) beginWait(kind int, op string, peer, size int, gen int64) {
-	c.state.wait.Store(&waitInfo{
-		kind: kind, op: op, peer: peer, size: size, gen: gen,
-		clock: c.state.clock, phase: c.state.phase,
-	})
+// clears it and bumps the world progress counter. Both are
+// allocation-free: the record is a set of per-rank atomics (see
+// waitRec), not a freshly boxed snapshot.
+func (c *Comm) beginWait(kind int32, op *string, peer, size int, gen int64) {
+	c.state.wait.publish(kind, op, int32(peer), int32(size), gen, c.state.clock)
 }
 
 func (c *Comm) endWait() {
-	c.state.wait.Store(nil)
+	c.state.wait.publish(waitRunning, nil, 0, 0, 0, c.state.clock)
 	c.world.progress.Add(1)
 }
 
@@ -555,13 +599,15 @@ func (c *Comm) SubComm(n int) *Comm {
 // Send delivers data to rank `to`. bytes is the modeled payload size.
 // The payload is available to the receiver at sender-clock + Latency +
 // PerByte·bytes; the sender itself is charged the send overhead
-// (Latency). Send only blocks when the receiver's inbox is full, and is
-// unblocked (tearing the rank down) if the world aborts meanwhile.
+// (Latency). Send never blocks: the receiver's mailbox ring grows on
+// demand (send-side backpressure was host scheduling with no modeled
+// meaning, and removing it removes a park point from the batched-replay
+// gate).
 func (c *Comm) Send(to int, data any, bytes int) {
-	c.sendOp(to, data, bytes, "Send")
+	c.sendOp(to, data, bytes, opSend)
 }
 
-func (c *Comm) sendOp(to int, data any, bytes int, op string) {
+func (c *Comm) sendOp(to int, data any, bytes int, op *string) {
 	if to == c.rank {
 		panic("mpi: Send to self")
 	}
@@ -632,28 +678,11 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 		c.state.seqTo[to]++
 	}
 	if deliver {
-		msg := message{src: c.rank, seq: seq, data: data, arrival: arrival, cost: cost, bytes: int64(bytes)}
+		dst := c.world.rankPtr(to)
+		dst.box.push(message{src: c.rank, seq: seq, data: data, arrival: arrival, cost: cost, bytes: int64(bytes)})
 		select {
-		case c.world.ranks[to].inbox <- msg:
-			// Fast path: the inbox had room, nothing blocked, so no
-			// waitInfo snapshot is needed for the watchdog.
+		case dst.wake <- struct{}{}:
 		default:
-			// About to park on a full inbox: hand the batched-replay
-			// compute slot to a runnable rank (the receiver needs one to
-			// drain us).
-			c.releaseSlot()
-			c.beginWait(waitSend, op, to, 0, 0)
-			select {
-			case c.world.ranks[to].inbox <- msg:
-			case <-c.world.abortCh:
-				// Clear the wait record before tearing down: a stale
-				// "blocked sending" snapshot would otherwise feed the
-				// watchdog a misleading deadlock dump during abort.
-				c.endWait()
-				panic(abortSignal{})
-			}
-			c.endWait()
-			c.acquireSlot()
 		}
 	} else {
 		// A dropped pooled payload never reaches a receiver's Release;
@@ -668,7 +697,7 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 	c.state.bytesSent += int64(bytes)
 	c.state.messages++
 	if c.state.tr != nil {
-		c.state.tr.Send(op, to, int64(bytes), t0, c.state.clock, m.Latency)
+		c.state.tr.Send(*op, to, int64(bytes), t0, c.state.clock, m.Latency)
 	}
 	if retries > 0 {
 		// Each healed retransmission charges the sender one more send
@@ -679,7 +708,7 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 		c.state.clock += extra
 		c.state.commTime += extra
 		if c.state.tr != nil {
-			c.state.tr.Retry(op, to, retries, int64(bytes), rt0, c.state.clock)
+			c.state.tr.Retry(*op, to, retries, int64(bytes), rt0, c.state.clock)
 		}
 	}
 }
@@ -689,45 +718,31 @@ func (c *Comm) sendOp(to int, data any, bytes int, op string) {
 // (or leaving it unchanged if the message already arrived in virtual
 // time). If the world aborts while waiting, the rank is torn down.
 func (c *Comm) Recv(from int) any {
-	return c.recvOp(from, "Recv")
+	return c.recvOp(from, opRecv)
 }
 
-func (c *Comm) recvOp(from int, op string) any {
+func (c *Comm) recvOp(from int, op *string) any {
 	c.commEvent(op)
+	st := c.state
 	msg, ok := c.takePending(from)
 	if !ok {
 		// Fast path: drain whatever is already queued without blocking
-		// (and so without publishing a waitInfo for the watchdog).
-	drainLoop:
-		for {
-			select {
-			case in := <-c.state.inbox:
-				if in.src == from {
-					msg, ok = in, true
-					break drainLoop
-				}
-				c.state.pending[in.src] = append(c.state.pending[in.src], in)
-			default:
-				break drainLoop
-			}
-		}
+		// (and so without publishing a wait record for the watchdog).
+		msg, ok = c.drainMatch(from)
 	}
 	if !ok {
 		// Parking until the matching send arrives: the sender needs a
 		// batched-replay compute slot to reach its send, so give ours up.
 		c.releaseSlot()
 		c.beginWait(waitRecv, op, from, 0, 0)
-	recvLoop:
-		for {
+		for !ok {
 			select {
-			case in := <-c.state.inbox:
-				if in.src == from {
-					msg = in
-					break recvLoop
-				}
-				c.state.pending[in.src] = append(c.state.pending[in.src], in)
+			case <-st.wake:
+				msg, ok = c.drainMatch(from)
 			case <-c.world.abortCh:
-				// Clear the wait record before tearing down (see sendOp).
+				// Clear the wait record before tearing down: a stale
+				// snapshot would otherwise feed the watchdog a misleading
+				// deadlock dump during abort.
 				c.endWait()
 				panic(abortSignal{})
 			}
@@ -735,20 +750,20 @@ func (c *Comm) recvOp(from int, op string) any {
 		c.endWait()
 		c.acquireSlot()
 	}
-	if c.state.seqFrom != nil && msg.seq >= 0 {
+	if st.seqFrom != nil && msg.seq >= 0 {
 		// The reliability layer numbers every link's messages; a gap here
 		// would mean an undetected loss or reordering, which the healing
 		// protocol is supposed to make impossible.
-		if want := c.state.seqFrom[msg.src]; msg.seq != want {
+		if want := st.seqFrom[msg.src]; msg.seq != want {
 			panic(fmt.Errorf("mpi: reliability: rank %d received message seq %d from rank %d, want %d (undetected loss or reordering)",
 				c.rank, msg.seq, msg.src, want))
 		}
-		c.state.seqFrom[msg.src]++
+		st.seqFrom[msg.src]++
 	}
-	t0 := c.state.clock
-	advance := msg.arrival - c.state.clock
+	t0 := st.clock
+	advance := msg.arrival - st.clock
 	if advance > 0 {
-		c.state.clock = msg.arrival
+		st.clock = msg.arrival
 	} else {
 		advance = 0
 	}
@@ -759,26 +774,11 @@ func (c *Comm) recvOp(from int, op string) any {
 	if advance < comm {
 		comm = advance
 	}
-	c.state.commTime += comm
-	if c.state.tr != nil {
-		c.state.tr.Recv(op, from, msg.bytes, t0, c.state.clock, comm)
+	st.commTime += comm
+	if st.tr != nil {
+		st.tr.Recv(*op, from, msg.bytes, t0, st.clock, comm)
 	}
 	return msg.data
-}
-
-// takePending pops the oldest queued message from `from`, if any. The
-// queue keeps its backing array (entries shift down in place) so
-// steady-state out-of-order delivery never reallocates.
-func (c *Comm) takePending(from int) (message, bool) {
-	q := c.state.pending[from]
-	if len(q) == 0 {
-		return message{}, false
-	}
-	msg := q[0]
-	copy(q, q[1:])
-	q[len(q)-1] = message{} // drop the payload reference for the GC
-	c.state.pending[from] = q[:len(q)-1]
-	return msg, true
 }
 
 // SendRecv performs a simultaneous exchange with partner: data flows
@@ -812,12 +812,11 @@ type collCost struct {
 	bytes int64
 }
 
-// runCollective performs the generation-matched rendezvous: every rank
-// of the communicator contributes val; combine runs once, in rank
-// order, when the last rank arrives; all ranks' clocks advance to
-// max(clock) + cost.total and the combined value is returned to each.
-// op names the collective in fault positions and watchdog diagnostics.
-func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, cost collCost) any {
+// collPrologue runs the shared front half of every collective: the
+// communication event (fault positions), payload truncation or healed
+// retransmission under an injected TruncatePayload, and the t0 clock
+// snapshot for the trace span.
+func (c *Comm) collPrologue(op *string, val any, cost collCost) (any, float64) {
 	f := c.commEvent(op)
 	if f != nil && f.Kind == TruncatePayload {
 		if m := c.world.model; m.Reliable != nil {
@@ -830,87 +829,25 @@ func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, c
 			c.state.clock += timeout
 			c.state.commTime += timeout
 			if c.state.tr != nil {
-				c.state.tr.Retry(op, -1, 1, cost.bytes, rt0, c.state.clock)
+				c.state.tr.Retry(*op, -1, 1, cost.bytes, rt0, c.state.clock)
 			}
 		} else {
 			val = truncatePayload(val)
 		}
 	}
-	t0 := c.state.clock
-	if c.size == 1 {
-		c.state.clock += cost.total
-		c.state.commTime += cost.total
-		if c.state.tr != nil {
-			c.state.tr.Coll(op, 1, -1, cost.bytes, cost.ts, cost.tw, cost.to,
-				t0, c.state.clock, cost.total)
-		}
-		return combine([]any{val})
-	}
+	return val, c.state.clock
+}
 
-	coll := c.world.collectiveFor(c.size)
-	coll.mu.Lock()
-	myGen := coll.gen
-	coll.vals[c.rank] = val
-	coll.clocks[c.rank] = c.state.clock
-	coll.costs[c.rank] = cost.total
-	coll.count++
-	if coll.count == coll.size {
-		mx := coll.clocks[0]
-		for _, t := range coll.clocks[1:] {
-			if t > mx {
-				mx = t
-			}
-		}
-		// The charged cost is the maximum any rank declared, so
-		// asymmetric byte counts (e.g. a broadcast whose non-roots do
-		// not know the payload size) stay deterministic.
-		mc := coll.costs[0]
-		for _, cc := range coll.costs[1:] {
-			if cc > mc {
-				mc = cc
-			}
-		}
-		// combine is user code and may panic (e.g. on a truncated
-		// contribution); it must not take the collective's mutex down
-		// with it, or the waiters could never be woken by the abort.
-		res, perr := safeCombine(combine, coll.vals)
-		if perr != nil {
-			coll.mu.Unlock()
-			panic(perr)
-		}
-		coll.result = res
-		coll.done = mx + mc
-		coll.count = 0
-		coll.gen++
-		coll.cond.Broadcast()
-	} else {
-		// Waiting for the rest of the communicator: later arrivals need
-		// compute slots to reach this collective, so give ours up before
-		// parking (releaseSlot never blocks, so holding coll.mu is fine).
-		c.releaseSlot()
-		c.beginWait(waitColl, op, -1, coll.size, myGen)
-		for coll.gen == myGen {
-			if c.world.aborted.Load() {
-				coll.mu.Unlock()
-				// Clear the stale "blocked in collective gen N" record
-				// before tearing down: the generation is dead and the
-				// watchdog must not dump it as a deadlock.
-				c.endWait()
-				panic(abortSignal{})
-			}
-			coll.cond.Wait()
-		}
-		c.endWait()
-	}
-	res, done := coll.result, coll.done
-	coll.mu.Unlock()
-	// Reacquire outside the collective's mutex: a full gate must not
-	// hold the rendezvous lock hostage.
-	c.acquireSlot()
+// collCharge runs the shared back half of every collective: advance the
+// clock to the rendezvous completion time, attribute the collective's
+// own cost (not imbalance waiting) to communication time, and emit the
+// trace span.
+func (c *Comm) collCharge(op *string, myGen int64, cost collCost, t0, done float64) {
+	st := c.state
 	charged := 0.0
-	if done > c.state.clock {
-		advance := done - c.state.clock
-		c.state.clock = done
+	if done > st.clock {
+		advance := done - st.clock
+		st.clock = done
 		// Only the collective's own cost counts as communication; the
 		// remainder of the advance is waiting on slower ranks (load
 		// imbalance or late activation).
@@ -918,14 +855,46 @@ func (c *Comm) runCollective(op string, val any, combine func(vals []any) any, c
 		if advance < comm {
 			comm = advance
 		}
-		c.state.commTime += comm
+		st.commTime += comm
 		charged = comm
 	}
-	if c.state.tr != nil {
-		c.state.tr.Coll(op, c.size, myGen, cost.bytes, cost.ts, cost.tw, cost.to,
-			t0, c.state.clock, charged)
+	if st.tr != nil {
+		st.tr.Coll(*op, c.size, myGen, cost.bytes, cost.ts, cost.tw, cost.to,
+			t0, st.clock, charged)
 	}
-	return res
+}
+
+// runCollective performs the generation-matched rendezvous: every rank
+// of the communicator contributes val; combine runs once, in rank
+// order, when the last rank arrives; all ranks' clocks advance to
+// max(clock) + cost.total and the combined value is returned to each.
+// op names the collective in fault positions and watchdog diagnostics.
+// The rendezvous itself is engine-dispatched (see SetCollectiveEngine);
+// both engines produce bit-identical results and clocks.
+func (c *Comm) runCollective(op *string, val any, combine func(vals []any) any, cost collCost) any {
+	val, t0 := c.collPrologue(op, val, cost)
+	if c.size == 1 {
+		st := c.state
+		st.clock += cost.total
+		st.commTime += cost.total
+		if st.tr != nil {
+			st.tr.Coll(*op, 1, -1, cost.bytes, cost.ts, cost.tw, cost.to,
+				t0, st.clock, cost.total)
+		}
+		return combine([]any{val})
+	}
+	if c.world.legacyColl {
+		return c.legacyCollective(op, val, combine, cost, t0)
+	}
+	return c.faninBoxed(op, val, combine, cost, t0)
+}
+
+// wordsEligible reports whether typed collectives may take the unboxed
+// word path: fan-in engine with no fault plan (payload truncation is
+// only defined on boxed contributions, and fault sweeps must exercise
+// the exact legacy semantics).
+func (c *Comm) wordsEligible() bool {
+	return !c.world.legacyColl && c.world.model.Faults == nil
 }
 
 // safeCombine runs combine, converting a panic into a returned value so
@@ -944,9 +913,13 @@ func safeCombine(combine func([]any) any, vals []any) (res any, panicked any) {
 func (c *Comm) Barrier() {
 	m := c.world.model
 	total := m.Latency * log2ceil(c.size)
-	c.runCollective("Barrier", nil, func([]any) any { return nil },
+	c.runCollective(opBarrier, nil, combineNil,
 		collCost{total: total, ts: total})
 }
+
+// combineNil is the shared no-payload combine of Barrier and SyncCost;
+// a package-level func value keeps those collectives allocation-free.
+var combineNil = func([]any) any { return nil }
 
 // Bcast distributes root's data to every rank. bytes is the payload
 // size; cost is a binomial tree: (Latency + PerByte·bytes)·log2(P).
@@ -956,7 +929,7 @@ func (c *Comm) Bcast(root int, data any, bytes int) any {
 	}
 	m := c.world.model
 	lg := log2ceil(c.size)
-	return c.runCollective("Bcast", data, func(vals []any) any { return vals[root] },
+	return c.runCollective(opBcast, data, func(vals []any) any { return vals[root] },
 		collCost{
 			total: (m.Latency + m.PerByte*float64(bytes)) * lg,
 			ts:    m.Latency * lg,
@@ -1006,7 +979,7 @@ func (c *Comm) ChargeComm(messages, bytes int) {
 // The cost is left unattributed in the trace breakdown; callers that
 // know the ts/tw/to split use SyncCostParts.
 func (c *Comm) SyncCost(cost float64) {
-	c.runCollective("SyncCost", nil, func([]any) any { return nil }, collCost{total: cost})
+	c.runCollective(opSyncCost, nil, combineNil, collCost{total: cost})
 }
 
 // SyncCostParts is SyncCost with the charged total decomposed into the
@@ -1015,7 +988,7 @@ func (c *Comm) SyncCost(cost float64) {
 // passed to SyncCost — it is charged verbatim; the parts are
 // informational only.
 func (c *Comm) SyncCostParts(total, ts, tw, to float64) {
-	c.runCollective("SyncCost", nil, func([]any) any { return nil },
+	c.runCollective(opSyncCost, nil, combineNil,
 		collCost{total: total, ts: ts, tw: tw, to: to})
 }
 

@@ -156,13 +156,13 @@ func (p *VecPool[T]) Get(n int) *VecBuf[T] {
 // the receiver, which releases it after consumption. Cost model and
 // event accounting are identical to Send with the equivalent slice.
 func SendVec[T any](c *Comm, to int, buf *VecBuf[T], bytesPerElem int) {
-	c.sendOp(to, buf, bytesPerElem*len(buf.Data), "SendVec")
+	c.sendOp(to, buf, bytesPerElem*len(buf.Data), opSendVec)
 }
 
 // RecvVec receives a pooled buffer sent with SendVec from rank `from`.
 // The caller owns the result and must Release it after consuming Data.
 func RecvVec[T any](c *Comm, from int) *VecBuf[T] {
-	return c.recvOp(from, "RecvVec").(*VecBuf[T])
+	return c.recvOp(from, opRecvVec).(*VecBuf[T])
 }
 
 // RecvVecInto receives a pooled buffer from rank `from`, copies its
@@ -193,10 +193,10 @@ func NeighborExchange[T any](c *Comm, partners []int, bufs []*VecBuf[T], bytesPe
 		panic("mpi: NeighborExchange needs one buffer per partner")
 	}
 	for i, r := range partners {
-		c.sendOp(r, bufs[i], bytesPerElem*len(bufs[i].Data), "NeighborExchange")
+		c.sendOp(r, bufs[i], bytesPerElem*len(bufs[i].Data), opNeighborExchange)
 	}
 	for i, r := range partners {
-		b := c.recvOp(r, "NeighborExchange").(*VecBuf[T])
+		b := c.recvOp(r, opNeighborExchange).(*VecBuf[T])
 		// Release under defer: recv is caller code and may panic (e.g.
 		// rejecting a truncated payload); the transport buffer must go
 		// back to its pool either way.

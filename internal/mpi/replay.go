@@ -24,7 +24,7 @@ import (
 // hostpar.Workers() ranks is admitted to *run* at any moment. Admission
 // is a slot gate: a rank holds a slot while it executes local compute,
 // and hands the slot to the next compute-ready rank whenever it parks
-// in a receive, a send on a full inbox, or an incomplete collective.
+// in a receive or an incomplete collective.
 // The effect is exactly "step N ranks' local compute on the host worker
 // pool between communication points": between any two communication
 // events at most N ranks are runnable, and a parked rank costs one idle
