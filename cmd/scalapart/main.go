@@ -34,6 +34,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hostpar"
 	"repro/internal/mpi"
+	"repro/internal/refine"
 	"repro/internal/trace"
 )
 
@@ -54,6 +55,9 @@ func main() {
 		watchdog    = flag.Duration("watchdog", 0, "deadlock watchdog stall window (0 = built-in default)")
 		benchJSON   = flag.String("bench-json", "", "sweep ScalaPart over the suite and write perf-trajectory JSON to this file, then exit")
 		psFlag      = flag.String("ps", "", "processor sweep for -bench-json (default 1,2,...,1024)")
+		refineFlag  = flag.String("refine", "off", "extra refinement beyond the always-on strip FM: off (historical pipeline) | full (full-cut distributed boundary FM)")
+		trials      = flag.Int("trials", 1, "evolutionary search width for ScalaPart: run the embed+partition tail N times with decorrelated seeds and combine the two best bisections (1 = single pass)")
+		rcbModel    = flag.Int("rcb-model", 2, "RCB cost-model version: 2 (Zoltan-faithful: per-level median search + migration) | 1 (historical single-scan model); partition results are identical")
 		workers     = flag.Int("workers", 0, "host worker pool size for the fork-join coarsening/embedding kernels (0 = one per core)")
 		replayFlag  = flag.String("replay", "goroutine", "rank scheduling: goroutine (one live goroutine per rank) | batched (step at most -workers ranks' compute between communication points)")
 		collFlag    = flag.String("collectives", "fanin", "collective rendezvous engine: fanin (lock-free arrival slots, allocation-free) | legacy (mutex/cond gather-all); results are bit-identical")
@@ -77,6 +81,23 @@ func main() {
 		os.Exit(1)
 	}
 	mpi.SetCollectiveEngine(coll)
+	switch *refineFlag {
+	case "off":
+	case "full":
+		refine.SetFullCut(true)
+	default:
+		fmt.Fprintf(os.Stderr, "scalapart: unknown -refine mode %q (want off or full)\n", *refineFlag)
+		os.Exit(1)
+	}
+	if *rcbModel != 1 && *rcbModel != 2 {
+		fmt.Fprintf(os.Stderr, "scalapart: unknown -rcb-model %d (want 1 or 2)\n", *rcbModel)
+		os.Exit(1)
+	}
+	geopart.SetRCBModel(*rcbModel)
+	if *trials < 1 {
+		fmt.Fprintf(os.Stderr, "scalapart: -trials must be >= 1 (got %d)\n", *trials)
+		os.Exit(1)
+	}
 	policy, err := core.ParseRecoveryPolicy(*recoverFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalapart:", err)
@@ -113,7 +134,7 @@ func main() {
 		}
 	}()
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *scale, *psFlag, *phaseBreak, *compress); err != nil {
+		if err := writeBenchJSON(*benchJSON, *scale, *psFlag, *phaseBreak, *compress, *trials); err != nil {
 			fmt.Fprintln(os.Stderr, "scalapart:", err)
 			os.Exit(1)
 		}
@@ -149,6 +170,12 @@ func main() {
 	}
 	if policy != core.RecoverOff && *method != "ScalaPart" {
 		fmt.Fprintf(os.Stderr, "scalapart: WARNING: -recover applies to the ScalaPart pipeline; %s runs without rollback recovery\n", *method)
+	}
+	if *trials > 1 && *method != "ScalaPart" {
+		fmt.Fprintf(os.Stderr, "scalapart: WARNING: -trials drives the ScalaPart evolutionary search; %s runs a single pass\n", *method)
+	}
+	if *refineFlag == "full" && *method != "ScalaPart" && *method != "SP-PG7-NL" {
+		fmt.Fprintf(os.Stderr, "scalapart: WARNING: -refine full applies to the geodesic pipelines; %s is unaffected\n", *method)
 	}
 	g, coords, err := loadGraph(*file, *name, *scale)
 	if err != nil {
@@ -197,6 +224,7 @@ func main() {
 	case "ScalaPart":
 		opt := core.DefaultOptions(*seed)
 		opt.Model = model
+		opt.Trials = *trials
 		opt.Recover = core.RecoverOptions{Policy: policy, RetryBudget: *retryBudget}
 		res, runErr := core.PartitionChecked(g, *p, opt)
 		if runErr != nil {
@@ -321,7 +349,7 @@ func main() {
 // with compress set the suite graphs are held in the delta/varint
 // compressed representation (modeled fields are bit-identical either
 // way, and each row records compressed/bytes_per_edge/peak_rss).
-func writeBenchJSON(path string, scale float64, psSpec string, breakdown, compress bool) error {
+func writeBenchJSON(path string, scale float64, psSpec string, breakdown, compress bool, trials int) error {
 	ps := bench.DefaultPs()
 	if psSpec != "" {
 		ps = ps[:0]
@@ -336,6 +364,7 @@ func writeBenchJSON(path string, scale float64, psSpec string, breakdown, compre
 	h := bench.New(scale, ps)
 	h.Trace = breakdown
 	h.Compress = compress
+	h.Trials = trials
 	h.Out = os.Stderr
 	data, err := h.BenchJSON()
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hostpar"
 	"repro/internal/mpi"
+	"repro/internal/refine"
 	"repro/internal/trace"
 )
 
@@ -93,6 +94,10 @@ type Harness struct {
 	// of the cache fingerprint, so recovered and plain sweeps never
 	// share entries.
 	Recover core.RecoverOptions
+	// Trials > 1 runs ScalaPart with the evolutionary multi-trial
+	// search (core.Options.Trials). Part of the cache fingerprint;
+	// 0 and 1 both mean the single-pass pipeline and share entries.
+	Trials int
 
 	logMu   sync.Mutex
 	graphs  cache[string, *gen.Generated]
@@ -192,10 +197,15 @@ func (h *Harness) Get(graphName, method string, p int) *Run {
 // Breakdown field). Two Gets with different fingerprints compute
 // independent runs instead of sharing a stale cache entry.
 func (h *Harness) envKey() string {
-	return fmt.Sprintf("w%d|replay:%s|coll:%s|batch%t|pbuild%t|pembed%t|pool%t|trace%t|compress%t|recover:%s:%d:%d:%d|faults:%s",
+	trials := h.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	return fmt.Sprintf("w%d|replay:%s|coll:%s|batch%t|pbuild%t|pembed%t|pool%t|trace%t|compress%t|recover:%s:%d:%d:%d|trials:%d|fullcut:%t|rcbv:%d|faults:%s",
 		hostpar.Workers(), mpi.Replay(), mpi.Collectives(), geopart.Batching(), graph.ParallelBuild(),
 		embed.Parallel(), mpi.PoolingEnabled(), h.Trace, h.Compress,
 		h.Recover.Policy, h.Recover.RetryBudget, h.Recover.MaxRespawns, h.Recover.MaxShrinks,
+		trials, refine.FullCut(), geopart.RCBModel(),
 		h.Model.Faults.Key())
 }
 
@@ -321,6 +331,7 @@ func (h *Harness) compute(graphName, method string, p int) *Run {
 		opt := core.DefaultOptions(seed)
 		opt.Model = h.Model
 		opt.Recover = h.Recover
+		opt.Trials = h.Trials
 		var rec *trace.Recorder
 		if h.Trace {
 			rec = trace.New()

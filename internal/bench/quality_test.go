@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/geopart"
+	"repro/internal/mpi"
+	"repro/internal/refine"
+)
+
+// TestQualitySmoke is the CI quality gate: on two suite graphs at
+// P ∈ {4, 16}, the full-cut refined pipeline must never cut more than
+// the strip-only pipeline, stay inside the balance tolerance, and the
+// evolutionary search must never lose to the single-trial run it
+// contains. Scale 0.25 keeps it smoke-fast.
+func TestQualitySmoke(t *testing.T) {
+	tol := geopart.DefaultParallelConfig().Defaults().BalanceTol
+	h := New(0.25, []int{4, 16})
+	for _, g := range []string{"ecology1", "hugetrace-00000"} {
+		for _, p := range []int{4, 16} {
+			refine.SetFullCut(false)
+			off := h.Get(g, MethodSP, p)
+			refine.SetFullCut(true)
+			full := h.Get(g, MethodSP, p)
+			refine.SetFullCut(false)
+			if full.Cut > off.Cut {
+				t.Errorf("%s P=%d: full-cut refinement worsened the cut: %d > %d", g, p, full.Cut, off.Cut)
+			}
+			if full.Imbalance > tol {
+				t.Errorf("%s P=%d: refined imbalance %v above tolerance %v", g, p, full.Imbalance, tol)
+			}
+			if full.Time <= off.Time {
+				t.Errorf("%s P=%d: full-cut pass charged no modeled time (%v vs %v)", g, p, full.Time, off.Time)
+			}
+			t.Logf("%s P=%d: cut %d -> %d (imb %.4f)", g, p, off.Cut, full.Cut, full.Imbalance)
+		}
+	}
+	// The evolutionary search includes trial 0 verbatim, so with a
+	// feasible single-trial run it can only match or improve.
+	single := h.Get("ecology1", MethodSP, 4)
+	h2 := New(0.25, []int{4})
+	h2.Trials = 3
+	multi := h2.Get("ecology1", MethodSP, 4)
+	if single.Imbalance <= tol && multi.Cut > single.Cut {
+		t.Errorf("ecology1 P=4: 3-trial cut %d worse than single-trial %d", multi.Cut, single.Cut)
+	}
+	if multi.Time <= single.Time {
+		t.Errorf("ecology1 P=4: 3 trials charged no extra modeled time (%v vs %v)", multi.Time, single.Time)
+	}
+	t.Logf("ecology1 P=4: cut %d (1 trial) -> %d (3 trials)", single.Cut, multi.Cut)
+}
+
+// TestEnvKeyFingerprintsQualityKnobs: flipping any of the new quality
+// knobs — trials, the full-cut hook, the RCB cost-model version — must
+// change the cache fingerprint, or sweeps under different settings
+// would share stale entries.
+func TestEnvKeyFingerprintsQualityKnobs(t *testing.T) {
+	h := New(1, []int{4})
+	base := h.envKey()
+	h.Trials = 4
+	if h.envKey() == base {
+		t.Error("envKey ignores Trials")
+	}
+	h.Trials = 0
+
+	defer refine.SetFullCut(refine.SetFullCut(true))
+	if h.envKey() == base {
+		t.Error("envKey ignores the full-cut hook")
+	}
+	refine.SetFullCut(false)
+
+	defer geopart.SetRCBModel(geopart.SetRCBModel(1))
+	if h.envKey() == base {
+		t.Error("envKey ignores the RCB cost-model version")
+	}
+	geopart.SetRCBModel(2)
+
+	// Trials 0 and 1 are the same pipeline and must share cache entries.
+	h.Trials = 1
+	if h.envKey() != base {
+		t.Error("envKey distinguishes Trials=1 from Trials=0")
+	}
+}
+
+// TestBenchRowsMatchSeedQuality recomputes ecology1 P ∈ {1, 4} of
+// BENCH_7.json — the scale-8 perf trajectory committed before the
+// quality layer existed — under both collective engines and both
+// replay schedulers, with the quality knobs at their defaults (full
+// cut off, one trial), and requires every modeled field bit-identical
+// to the seed file. This is the BENCH half of the quality layer's
+// bit-identity contract: with -refine off -trials 1 the pipeline IS
+// the historical pipeline.
+func TestBenchRowsMatchSeedQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recomputes scale-8 bench rows four ways (minutes)")
+	}
+	raw, err := os.ReadFile("../../BENCH_7.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file BenchFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	rows := map[int]BenchRecord{}
+	for _, r := range file.Runs {
+		if r.Graph == "ecology1" {
+			rows[r.P] = r
+		}
+	}
+
+	h := New(file.Scale, []int{1, 4})
+	h.Compress = true // BENCH_7 was recorded with -compress
+	for _, eng := range []mpi.CollectiveEngine{mpi.CollectivesFanin, mpi.CollectivesLegacy} {
+		defer mpi.SetCollectiveEngine(mpi.SetCollectiveEngine(eng))
+		for _, mode := range []mpi.ReplayMode{mpi.ReplayBatched, mpi.ReplayGoroutine} {
+			defer mpi.SetReplayMode(mpi.SetReplayMode(mode))
+			for _, p := range []int{1, 4} {
+				want, ok := rows[p]
+				if !ok {
+					t.Fatalf("BENCH_7.json has no row for ecology1 P=%d", p)
+				}
+				got := h.Get("ecology1", MethodSP, p)
+				if got.Cut != want.Cut || got.Imbalance != want.Imbalance ||
+					got.Time != want.ModeledTime || got.CommTime != want.CommTime ||
+					got.Messages != want.Messages || got.BytesSent != want.BytesSent {
+					t.Fatalf("engine=%s replay=%v: ecology1 P=%d drifted from BENCH_7.json:\n  want cut=%d imb=%v time=%v comm=%v msgs=%d bytes=%d\n  got  cut=%d imb=%v time=%v comm=%v msgs=%d bytes=%d",
+						eng, mode, p,
+						want.Cut, want.Imbalance, want.ModeledTime, want.CommTime, want.Messages, want.BytesSent,
+						got.Cut, got.Imbalance, got.Time, got.CommTime, got.Messages, got.BytesSent)
+				}
+			}
+		}
+	}
+}

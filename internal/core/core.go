@@ -35,6 +35,13 @@ type Options struct {
 	// matching resolves match conflicts over several rounds). Default 4.
 	CoarsenRounds int
 	Seed          int64
+	// Trials > 1 enables the evolutionary search: the embed+partition
+	// tail runs Trials times with decorrelated RNG streams inside one
+	// simulated world (the modeled clock pays for all of them), and the
+	// two best bisections are combined by freeing their disagreement
+	// region under one distributed FM round. 0 or 1 means the single
+	// historical pipeline pass. Incompatible with recovery.
+	Trials int
 	// Recover configures rollback recovery: with a non-off policy, rank
 	// failures roll back to level checkpoints and the run continues
 	// (respawned or shrunken) instead of aborting. The zero value keeps
@@ -107,6 +114,12 @@ func PartitionChecked(g *graph.Graph, p int, opt Options) (*Result, error) {
 	}
 	if opt.CoarsenRounds == 0 {
 		opt.CoarsenRounds = 4
+	}
+	if opt.Trials > 1 {
+		// Routed before recovery so a Trials+Recover combination surfaces
+		// as partitionEvolve's explicit error instead of silently running
+		// single-trial.
+		return partitionEvolve(g, p, opt)
 	}
 	if opt.Recover.Policy != RecoverOff {
 		return partitionRecover(g, p, opt)

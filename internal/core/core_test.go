@@ -62,8 +62,13 @@ func TestScalaPartDeterminism(t *testing.T) {
 }
 
 // TestPartitionGeometricAndRCB exercise the coordinate-given entry
-// points on a mesh with natural coordinates.
+// points on a mesh with natural coordinates. The RCB-cheaper-than-SP
+// assertion holds under the historical single-scan RCB clock (model
+// version 1); the Zoltan-faithful default charges RCB's real median
+// iterations and inverts it at this graph size (see EXPERIMENTS.md
+// § "The quality layer").
 func TestPartitionGeometricAndRCB(t *testing.T) {
+	defer geopart.SetRCBModel(geopart.SetRCBModel(1))
 	g := gen.DelaunayRandom(4000, 3)
 	for _, p := range []int{1, 8} {
 		spr := PartitionGeometric(g.G, g.Coords, p, geopart.DefaultParallelConfig(), mpi.DefaultModel())

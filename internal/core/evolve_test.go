@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/refine"
+)
+
+// TestEvolveValidAndNoWorseThanLegacy: the search includes the
+// configured options verbatim as trial 0 and the combine never worsens
+// the best parent, so when the single-trial pipeline produces a
+// feasible bisection the evolved cut must be at or below it — and the
+// result must still be a valid balanced bisection with honest
+// accounting (reported cut = recount).
+func TestEvolveValidAndNoWorseThanLegacy(t *testing.T) {
+	g := gen.DelaunayRandom(3000, 5)
+	tol := DefaultOptions(42).Partition.Defaults().BalanceTol
+	for _, p := range []int{1, 4, 16} {
+		legacy := Partition(g.G, p, DefaultOptions(42))
+		opt := DefaultOptions(42)
+		opt.Trials = 3
+		res := Partition(g.G, p, opt)
+		if got := graph.CutSize(g.G, res.Part); got != res.Cut {
+			t.Fatalf("p=%d: reported cut %d but partition cuts %d", p, res.Cut, got)
+		}
+		if imb := graph.Imbalance(g.G, res.Part, 2); math.Abs(imb-res.Imbalance) > 1e-12 {
+			t.Fatalf("p=%d: reported imbalance %v, recomputed %v", p, res.Imbalance, imb)
+		}
+		if legacy.Imbalance <= tol && res.Cut > legacy.Cut {
+			t.Fatalf("p=%d: evolved cut %d worse than single-trial %d", p, res.Cut, legacy.Cut)
+		}
+		if res.Imbalance > tol {
+			t.Fatalf("p=%d: evolved imbalance %v above tolerance %v", p, res.Imbalance, tol)
+		}
+		t.Logf("p=%d: cut %d (1 trial) -> %d (3 trials)", p, legacy.Cut, res.Cut)
+	}
+}
+
+// TestEvolveClockPaysForTrials: the trials run inside one simulated
+// world, so the modeled embed and partition times must grow roughly
+// linearly with the trial count — the search cannot pretend to be
+// free.
+func TestEvolveClockPaysForTrials(t *testing.T) {
+	g := gen.Grid2D(48, 48)
+	legacy := Partition(g.G, 4, DefaultOptions(7))
+	opt := DefaultOptions(7)
+	opt.Trials = 3
+	res := Partition(g.G, 4, opt)
+	if res.Times.Embed < 2*legacy.Times.Embed {
+		t.Fatalf("3-trial embed time %v not >= 2x single-trial %v", res.Times.Embed, legacy.Times.Embed)
+	}
+	if res.Times.Partition < 2*legacy.Times.Partition {
+		t.Fatalf("3-trial partition time %v not >= 2x single-trial %v", res.Times.Partition, legacy.Times.Partition)
+	}
+	if res.Times.Total <= legacy.Times.Total {
+		t.Fatalf("3-trial total %v not above single-trial %v", res.Times.Total, legacy.Times.Total)
+	}
+	if res.Times.Coarsen != legacy.Times.Coarsen {
+		t.Fatalf("coarsening ran more than once: %v vs %v", res.Times.Coarsen, legacy.Times.Coarsen)
+	}
+}
+
+// TestEvolveDeterministic: the search must be bit-identical across
+// repeated runs, both replay schedulers, and with the full-cut pass
+// on — parts, cuts, and modeled clocks.
+func TestEvolveDeterministic(t *testing.T) {
+	g := gen.DelaunayRandom(2000, 9)
+	defer refine.SetFullCut(refine.SetFullCut(true))
+	opt := DefaultOptions(5)
+	opt.Trials = 3
+	var base *Result
+	for _, mode := range []mpi.ReplayMode{mpi.ReplayGoroutine, mpi.ReplayBatched, mpi.ReplayGoroutine} {
+		prev := mpi.SetReplayMode(mode)
+		res := Partition(g.G, 8, opt)
+		mpi.SetReplayMode(prev)
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.Cut != base.Cut || res.Imbalance != base.Imbalance {
+			t.Fatalf("replay %v: cut/imb %d/%v, want %d/%v", mode, res.Cut, res.Imbalance, base.Cut, base.Imbalance)
+		}
+		if math.Abs(res.Times.Total-base.Times.Total) > 1e-12 {
+			t.Fatalf("replay %v: modeled time %v, want %v", mode, res.Times.Total, base.Times.Total)
+		}
+		for i := range res.Part {
+			if res.Part[i] != base.Part[i] {
+				t.Fatalf("replay %v: partition differs at %d", mode, i)
+			}
+		}
+	}
+}
+
+// TestEvolveRejectsRecovery: Trials and recovery cannot be combined;
+// the routing must surface the explicit error rather than silently
+// dropping one of the two.
+func TestEvolveRejectsRecovery(t *testing.T) {
+	g := gen.Grid2D(16, 16)
+	opt := DefaultOptions(3)
+	opt.Trials = 2
+	opt.Recover.Policy = RecoverRespawn
+	if _, err := PartitionChecked(g.G, 4, opt); err == nil {
+		t.Fatal("Trials=2 with recovery on returned no error")
+	}
+}
+
+// TestEvolveTrialsOneIsLegacyPath: Trials <= 1 must route through the
+// unchanged single-pass pipeline — same cut, same partition, same
+// modeled clock as the default options.
+func TestEvolveTrialsOneIsLegacyPath(t *testing.T) {
+	g := gen.Grid2D(32, 32)
+	legacy := Partition(g.G, 4, DefaultOptions(11))
+	for _, trials := range []int{0, 1} {
+		opt := DefaultOptions(11)
+		opt.Trials = trials
+		res := Partition(g.G, 4, opt)
+		if res.Cut != legacy.Cut || res.Times.Total != legacy.Times.Total {
+			t.Fatalf("Trials=%d: cut/time %d/%v, want legacy %d/%v",
+				trials, res.Cut, res.Times.Total, legacy.Cut, legacy.Times.Total)
+		}
+		for i := range res.Part {
+			if res.Part[i] != legacy.Part[i] {
+				t.Fatalf("Trials=%d: partition differs at %d", trials, i)
+			}
+		}
+	}
+}

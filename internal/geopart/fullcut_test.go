@@ -1,0 +1,204 @@
+package geopart
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpi"
+	"repro/internal/refine"
+)
+
+// runSP runs one SP-PG7-NL bisection world and returns the assembled
+// global part vector plus rank 0's result.
+func runSP(g *gen.Generated, p int, cfg ParallelConfig) ([]int32, *ParallelResult) {
+	views := embed.SplitCoords(g.G, g.Coords, p)
+	part := make([]int32, g.G.NumVertices())
+	var r0 *ParallelResult
+	mpi.Run(p, mpi.DefaultModel(), func(c *mpi.Comm) {
+		res := ParallelPartition(c, g.G, views[c.Rank()], cfg)
+		for i, id := range res.OwnedIDs {
+			part[id] = res.Side[i]
+		}
+		if c.Rank() == 0 {
+			r0 = res
+		}
+	})
+	return part, r0
+}
+
+func globalCut(g *graph.Graph, part []int32) int64 {
+	return graph.CutSize(g, part)
+}
+
+// TestFullCutImprovesOrKeepsCut: the full-cut pass must never worsen
+// the strip-refined cut, its reported cut must match a from-scratch
+// recount of the assembled partition, and the balance must stay inside
+// the configured tolerance.
+func TestFullCutImprovesOrKeepsCut(t *testing.T) {
+	g := gen.DelaunayRandom(4000, 5)
+	totalW := g.G.TotalVertexWeight()
+	for _, p := range []int{1, 4, 16} {
+		defer refine.SetFullCut(refine.SetFullCut(false))
+		stripPart, stripRes := runSP(g, p, DefaultParallelConfig())
+		refine.SetFullCut(true)
+		fullPart, fullRes := runSP(g, p, DefaultParallelConfig())
+		refine.SetFullCut(false)
+
+		if got := globalCut(g.G, stripPart); got != stripRes.Cut {
+			t.Fatalf("P=%d strip: reported cut %d, recount %d", p, stripRes.Cut, got)
+		}
+		if got := globalCut(g.G, fullPart); got != fullRes.Cut {
+			t.Fatalf("P=%d full: reported cut %d, recount %d", p, fullRes.Cut, got)
+		}
+		if fullRes.Cut > stripRes.Cut {
+			t.Fatalf("P=%d: full-cut refinement worsened the cut: %d > %d", p, fullRes.Cut, stripRes.Cut)
+		}
+		tol := DefaultParallelConfig().Defaults().BalanceTol
+		limit := int64(float64(totalW) * (1 + tol) / 2)
+		if fullRes.SideW[0] > limit || fullRes.SideW[1] > limit {
+			t.Fatalf("P=%d: full-cut broke balance: %v (limit %d, tol %v)", p, fullRes.SideW, limit, tol)
+		}
+		var w [2]int64
+		for v, s := range fullPart {
+			w[s] += int64(g.G.VertexWeight(int32(v)))
+		}
+		if w != fullRes.SideW {
+			t.Fatalf("P=%d: reported SideW %v, recomputed %v", p, fullRes.SideW, w)
+		}
+		t.Logf("P=%d: cut %d (strip) -> %d (full), boundary %d", p, stripRes.Cut, fullRes.Cut, fullRes.Boundary)
+	}
+}
+
+// TestFullCutDeterministic: with full-cut on, the partition must be a
+// pure function of (graph, config, P) — identical across repeated
+// runs, both candidate kernels, and both replay schedulers. This is
+// the PR 3/4-style reproducibility contract extended to the new pass.
+func TestFullCutDeterministic(t *testing.T) {
+	g := gen.DelaunayRandom(3000, 9)
+	defer refine.SetFullCut(refine.SetFullCut(true))
+	for _, p := range []int{1, 4, 16, 64} {
+		var base []int32
+		var baseCut int64
+		for _, batched := range []bool{true, false} {
+			for _, mode := range []mpi.ReplayMode{mpi.ReplayGoroutine, mpi.ReplayBatched} {
+				name := fmt.Sprintf("P=%d batched=%t replay=%v", p, batched, mode)
+				part, res := func() ([]int32, *ParallelResult) {
+					defer SetBatching(SetBatching(batched))
+					defer mpi.SetReplayMode(mpi.SetReplayMode(mode))
+					return runSP(g, p, DefaultParallelConfig())
+				}()
+				if base == nil {
+					base, baseCut = part, res.Cut
+					continue
+				}
+				if res.Cut != baseCut {
+					t.Fatalf("%s: cut %d, want %d", name, res.Cut, baseCut)
+				}
+				for v := range part {
+					if part[v] != base[v] {
+						t.Fatalf("%s: vertex %d side %d, want %d", name, v, part[v], base[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFullCutOffUnchanged: the hook off must leave the strip-only
+// pipeline untouched — same parts, cuts, and virtual clocks as before
+// this pass existed. (The bench-level seed-row guard pins the same
+// thing against BENCH_7.json; this is the fast package-local check
+// that Boundary stays zero and the clock carries no full-cut charges.)
+func TestFullCutOffUnchanged(t *testing.T) {
+	g := gen.Grid2D(48, 48)
+	defer refine.SetFullCut(refine.SetFullCut(false))
+	views := embed.SplitCoords(g.G, g.Coords, 4)
+	var offClock, offCut = make([]float64, 4), int64(0)
+	mpi.Run(4, mpi.DefaultModel(), func(c *mpi.Comm) {
+		res := ParallelPartition(c, g.G, views[c.Rank()], DefaultParallelConfig())
+		offClock[c.Rank()] = c.Elapsed()
+		if c.Rank() == 0 {
+			offCut = res.Cut
+		}
+		if res.Boundary != 0 {
+			t.Errorf("rank %d: Boundary %d with full-cut off, want 0", c.Rank(), res.Boundary)
+		}
+	})
+	// Re-run: the off path must be deterministic in results and clocks.
+	mpi.Run(4, mpi.DefaultModel(), func(c *mpi.Comm) {
+		res := ParallelPartition(c, g.G, views[c.Rank()], DefaultParallelConfig())
+		if c.Elapsed() != offClock[c.Rank()] {
+			t.Errorf("rank %d: clock %v, want %v", c.Rank(), c.Elapsed(), offClock[c.Rank()])
+		}
+		if c.Rank() == 0 && res.Cut != offCut {
+			t.Errorf("cut %d, want %d", res.Cut, offCut)
+		}
+	})
+}
+
+// TestRefineFreeSetEmptyBoundaryWorld: a world where no rank frees any
+// vertex must return the pass-through result on every rank without
+// hanging (the early return happens after the gather collective, so it
+// is globally consistent by construction).
+func TestRefineFreeSetEmptyBoundaryWorld(t *testing.T) {
+	g := gen.Grid2D(16, 16)
+	const p = 4
+	views := embed.SplitCoords(g.G, g.Coords, p)
+	totalW := g.G.TotalVertexWeight()
+	mpi.Run(p, mpi.DefaultModel(), func(c *mpi.Comm) {
+		d := views[c.Rank()]
+		side := make([]int32, len(d.OwnedIDs))
+		free := make([]bool, len(d.OwnedIDs))
+		out := RefineFreeSet(c, g.G, d, free, side, [2]int64{int64(totalW), 0}, totalW, 0.05, 4)
+		if out.Gain != 0 || out.Free != 0 || len(out.Flips) != 0 {
+			t.Errorf("rank %d: empty free set produced %+v", c.Rank(), out)
+		}
+		if out.SideW != [2]int64{int64(totalW), 0} {
+			t.Errorf("rank %d: side weights not passed through: %v", c.Rank(), out.SideW)
+		}
+	})
+}
+
+// TestRCBModelVersions: the Zoltan-faithful cost model (v2) must leave
+// the partition itself bit-identical to v1 — it only adds charges —
+// and must charge strictly more modeled time at P>1, which is what
+// restores the Figure 4 crossover.
+func TestRCBModelVersions(t *testing.T) {
+	g := gen.Grid2D(64, 64)
+	run := func(version, p int) ([]int32, float64, *ParallelResult) {
+		defer SetRCBModel(SetRCBModel(version))
+		views := embed.SplitCoords(g.G, g.Coords, p)
+		part := make([]int32, g.G.NumVertices())
+		var clock float64
+		var r0 *ParallelResult
+		mpi.Run(p, mpi.DefaultModel(), func(c *mpi.Comm) {
+			res := ParallelRCB(c, g.G, views[c.Rank()])
+			for i, id := range res.OwnedIDs {
+				part[id] = res.Side[i]
+			}
+			if c.Rank() == 0 {
+				clock, r0 = c.Elapsed(), res
+			}
+		})
+		return part, clock, r0
+	}
+	for _, p := range []int{1, 4, 16} {
+		p1, c1, r1 := run(1, p)
+		p2, c2, r2 := run(2, p)
+		if r1.Cut != r2.Cut || r1.SideW != r2.SideW {
+			t.Fatalf("P=%d: cost model changed the partition: v1 %+v v2 %+v", p, r1, r2)
+		}
+		for v := range p1 {
+			if p1[v] != p2[v] {
+				t.Fatalf("P=%d: vertex %d side differs across cost models", p, v)
+			}
+		}
+		if c2 <= c1 {
+			t.Fatalf("P=%d: v2 modeled time %v not above v1 %v", p, c2, c1)
+		}
+		t.Logf("P=%d: RCB modeled time %v (v1) -> %v (v2)", p, c1, c2)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/graph"
 	"repro/internal/mpi"
+	"repro/internal/refine"
 	"repro/internal/stats"
 )
 
@@ -20,6 +21,11 @@ type ParallelConfig struct {
 	Refine      bool    // apply Fiduccia–Mattheyses on a coordinate strip
 	StripFactor float64 // strip size target, × separator edge count; default 8
 	FMPasses    int     // default 4
+	// FullCutRounds bounds the full-cut boundary-FM rounds applied
+	// after strip refinement when refine.SetFullCut is on; default 4.
+	// Each round re-extracts the boundary, so the pass also stops as
+	// soon as a round yields no gain.
+	FullCutRounds int
 }
 
 // DefaultParallelConfig is SP-PG7-NL with strip refinement, the
@@ -37,8 +43,18 @@ func (c ParallelConfig) withDefaults() ParallelConfig {
 	if c.FMPasses == 0 {
 		c.FMPasses = 4
 	}
+	if c.FullCutRounds == 0 {
+		c.FullCutRounds = 4
+	}
 	return c
 }
+
+// Defaults returns the config with every zero field replaced by its
+// default, exactly as ParallelPartition will resolve it. Callers that
+// reuse the partitioner's balance tolerance or FM pass count outside a
+// partition call (core's evolutionary combine does) read it here so
+// both sides agree.
+func (c ParallelConfig) Defaults() ParallelConfig { return c.withDefaults() }
 
 // ParallelResult is one rank's share of a parallel bisection plus the
 // global statistics every rank ends up knowing.
@@ -50,6 +66,7 @@ type ParallelResult struct {
 	SideW     [2]int64
 	Imbalance float64
 	StripSize int // vertices in the refinement strip (0 when Refine off)
+	Boundary  int // free set of the last full-cut round (0 unless full-cut ran)
 	Tries     int
 }
 
@@ -258,7 +275,24 @@ func ParallelPartition(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Pa
 		for i, q := range sample3 {
 			sampleAbs[i] = math.Abs(bestMob.Apply(q).Dot(bestU) - bestT)
 		}
-		refineStrip(c, g, d, cfg, ev.ec, valOwned, valGhost, sampleAbs, bestT, totalW, res)
+		stripFlips := refineStrip(c, g, d, cfg, ev.ec, valOwned, valGhost, sampleAbs, bestT, totalW, res)
+		if refine.FullCut() {
+			// Replicate the ghosts' sides under the winning candidate:
+			// the geometric side from the separator threshold, then the
+			// strip flips that landed on our ghost copies.
+			ghostSide := make([]int8, nGhost)
+			for gi := range ghostSide {
+				if valueAbove(valGhost[gi], d.GhostIDs[gi], bestT, cs.tID[bestK]) {
+					ghostSide[gi] = 1
+				}
+			}
+			for _, id := range stripFlips {
+				if gi, ok := d.GhostSlot(id); ok {
+					ghostSide[gi] = 1 - ghostSide[gi]
+				}
+			}
+			refineFullCut(c, g, d, cfg, ev.ec, ghostSide, totalW, res)
+		}
 	}
 	return res
 }

@@ -31,7 +31,11 @@ type stripRecord struct {
 // When the batched kernel ran, ec carries the resolved edge topology
 // and the ring scan is pure array indexing; with ec nil (legacy
 // kernel) the scan falls back to the ghost map and owned binary search.
-func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg ParallelConfig, ec *edgeCache, valOwned, valGhost, sampleAbs []float64, tVal float64, totalW int64, res *ParallelResult) {
+//
+// The returned slice is the broadcast flip list (global vertex ids),
+// identical on every rank; the full-cut pass uses it to bring its
+// ghost side replicas up to date before extracting the boundary.
+func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg ParallelConfig, ec *edgeCache, valOwned, valGhost, sampleAbs []float64, tVal float64, totalW int64, res *ParallelResult) []int32 {
 	c.SetPhase("refine")
 	n := g.NumVertices()
 	target := int(cfg.StripFactor * float64(res.CutBefore))
@@ -42,7 +46,7 @@ func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Parallel
 		target = n / 4
 	}
 	if target < 1 || len(sampleAbs) == 0 {
-		return
+		return nil
 	}
 	frac := float64(target) / float64(n)
 	if frac > 1 {
@@ -50,7 +54,7 @@ func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Parallel
 	}
 	eps := stats.Quantile(sampleAbs, frac)
 	if eps <= 0 {
-		return
+		return nil
 	}
 	abs := func(x float64) float64 {
 		if x < 0 {
@@ -173,4 +177,5 @@ func refineStrip(c *mpi.Comm, g *graph.Graph, d *embed.Distributed, cfg Parallel
 	res.SideW = out.SideW
 	res.Imbalance = imbalance2(res.SideW[0], res.SideW[1])
 	res.StripSize = out.StripSize
+	return out.Flips
 }

@@ -191,7 +191,20 @@ func (p *Problem) Run() int64 {
 				if moved[a.To] {
 					continue
 				}
-				gains[a.To] = p.Gain(a.To)
+				// O(1) delta gain update: v just left side s, so the arc
+				// (v, a.To) flips its sign in the neighbour's gain — ±2·W
+				// depending on which side the neighbour sits on. The delta
+				// is exact int64 arithmetic on the same values a full
+				// p.Gain recompute would produce, so the heap sees
+				// bit-identical keys and the move sequence is unchanged;
+				// only the O(deg) rescan per touched neighbour is gone,
+				// which matters on the full-cut boundary where degrees are
+				// not strip-thin.
+				if p.Side[a.To] == s {
+					gains[a.To] += 2 * a.W
+				} else {
+					gains[a.To] -= 2 * a.W
+				}
 				stamp[a.To]++
 				h.push(item{v: a.To, gain: gains[a.To], stamp: stamp[a.To]})
 			}

@@ -8,6 +8,13 @@ import "repro/internal/graph"
 // folded into the locked external weights. It returns the problem and
 // the vertex ids aligned with problem indices.
 func BuildSubproblem(g *graph.Graph, free []int32, sideOf func(int32) int8, sideW [2]int64, totalW int64, tol float64, passes int) (*Problem, []int32) {
+	if len(free) == 0 {
+		// Empty free set: a runnable zero-vertex problem, with no map,
+		// cursor, or per-vertex allocations. The strip path guards this
+		// case at the call site, but the full-cut and combine drivers
+		// reach it whenever a level's boundary is empty.
+		return &Problem{SideW: sideW, TotalW: totalW, Tol: tol, MaxPasses: passes}, nil
+	}
 	local := make(map[int32]int32, len(free))
 	totalDeg := 0
 	for i, id := range free {
